@@ -1,0 +1,133 @@
+// Command decompose runs a decomposition or ball carving on a generated
+// graph and emits the result as JSON (graph, assignment, colors, stats),
+// suitable for piping into cmd/verify.
+//
+// Usage:
+//
+//	decompose -gen gnp -n 1024 -algo chang-ghaffari [-carve] [-eps 0.5] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"strongdecomp"
+)
+
+// Result is the JSON document exchanged between decompose and verify.
+type Result struct {
+	N      int      `json:"n"`
+	Edges  [][2]int `json:"edges"`
+	Mode   string   `json:"mode"` // "carve" or "decompose"
+	Eps    float64  `json:"eps,omitempty"`
+	Algo   string   `json:"algo"`
+	Assign []int    `json:"assign"`
+	Color  []int    `json:"color,omitempty"`
+	K      int      `json:"k"`
+	Colors int      `json:"colors,omitempty"`
+	Rounds int64    `json:"rounds"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "decompose:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gen   = flag.String("gen", "gnp", "graph family: gnp|grid|path|tree|expander|subdivided|clusters|torus|hypercube")
+		n     = flag.Int("n", 1024, "approximate node count")
+		algo  = flag.String("algo", "chang-ghaffari", "algorithm: chang-ghaffari|chang-ghaffari-improved|mpx|linial-saks|sequential")
+		carve = flag.Bool("carve", false, "run a ball carving instead of a full decomposition")
+		eps   = flag.Float64("eps", 0.5, "carving boundary parameter")
+		seed  = flag.Int64("seed", 1, "generator / algorithm seed")
+	)
+	flag.Parse()
+
+	g, err := makeGraph(*gen, *n, *seed)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlgo(*algo)
+	if err != nil {
+		return err
+	}
+	meter := strongdecomp.NewMeter()
+	res := Result{N: g.N(), Edges: g.Edges(), Algo: a.String(), Rounds: 0}
+
+	if *carve {
+		c, err := strongdecomp.BallCarve(g, *eps,
+			strongdecomp.WithAlgorithm(a), strongdecomp.WithSeed(*seed), strongdecomp.WithMeter(meter))
+		if err != nil {
+			return err
+		}
+		res.Mode, res.Eps = "carve", *eps
+		res.Assign, res.K = c.Assign, c.K
+	} else {
+		d, err := strongdecomp.Decompose(g,
+			strongdecomp.WithAlgorithm(a), strongdecomp.WithSeed(*seed), strongdecomp.WithMeter(meter))
+		if err != nil {
+			return err
+		}
+		res.Mode = "decompose"
+		res.Assign, res.Color, res.K, res.Colors = d.Assign, d.Color, d.K, d.Colors
+	}
+	res.Rounds = meter.Rounds()
+	return json.NewEncoder(os.Stdout).Encode(res)
+}
+
+func makeGraph(gen string, n int, seed int64) (*strongdecomp.Graph, error) {
+	switch gen {
+	case "gnp":
+		return strongdecomp.ConnectedGnpGraph(n, 4/float64(n), seed), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return strongdecomp.GridGraph(side, side), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return strongdecomp.TorusGraph(side, side), nil
+	case "path":
+		return strongdecomp.PathGraph(n), nil
+	case "tree":
+		return strongdecomp.BinaryTreeGraph(n), nil
+	case "expander":
+		return strongdecomp.ExpanderGraph(n, 4, seed), nil
+	case "subdivided":
+		return strongdecomp.SubdividedExpanderGraph(n/16+4, 4, 8, seed), nil
+	case "clusters":
+		return strongdecomp.ClusterGraphGen(8, n/8+1, 0.3, seed), nil
+	case "hypercube":
+		dim := 1
+		for 1<<dim < n {
+			dim++
+		}
+		return strongdecomp.HypercubeGraph(dim), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", gen)
+	}
+}
+
+func parseAlgo(s string) (strongdecomp.Algorithm, error) {
+	for _, a := range []strongdecomp.Algorithm{
+		strongdecomp.ChangGhaffari,
+		strongdecomp.ChangGhaffariImproved,
+		strongdecomp.MPX,
+		strongdecomp.LinialSaks,
+		strongdecomp.Sequential,
+	} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}

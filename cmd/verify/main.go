@@ -1,0 +1,70 @@
+// Command verify validates a decomposition or carving produced by
+// cmd/decompose: it re-derives every defining property (partition shape,
+// non-adjacency, diameter bounds, dead fraction) from the JSON document on
+// stdin and exits non-zero on any violation.
+//
+// Usage:
+//
+//	decompose -gen grid -n 400 | verify [-eps 0.5] [-max-diam -1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"strongdecomp"
+	"strongdecomp/internal/cluster"
+)
+
+type document struct {
+	N      int      `json:"n"`
+	Edges  [][2]int `json:"edges"`
+	Mode   string   `json:"mode"`
+	Eps    float64  `json:"eps"`
+	Algo   string   `json:"algo"`
+	Assign []int    `json:"assign"`
+	Color  []int    `json:"color"`
+	K      int      `json:"k"`
+	Colors int      `json:"colors"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "verify: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("verify: OK")
+}
+
+func run() error {
+	var (
+		maxDiam = flag.Int("max-diam", -1, "optional strong-diameter bound to enforce (-1: skip)")
+		strong  = flag.Bool("strong", true, "measure diameters in the induced subgraph")
+	)
+	flag.Parse()
+
+	var doc document
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+		return fmt.Errorf("decode input: %w", err)
+	}
+	g, err := strongdecomp.NewGraph(doc.N, doc.Edges)
+	if err != nil {
+		return fmt.Errorf("rebuild graph: %w", err)
+	}
+	switch doc.Mode {
+	case "carve":
+		c := &cluster.Carving{Assign: doc.Assign, K: doc.K}
+		eps := doc.Eps
+		if eps == 0 {
+			eps = 1
+		}
+		return strongdecomp.VerifyCarving(g, c, eps, *maxDiam)
+	case "decompose":
+		d := &cluster.Decomposition{Assign: doc.Assign, Color: doc.Color, K: doc.K, Colors: doc.Colors}
+		return strongdecomp.VerifyDecomposition(g, d, *maxDiam, *strong)
+	default:
+		return fmt.Errorf("unknown mode %q", doc.Mode)
+	}
+}

@@ -1,0 +1,66 @@
+// MIS: the canonical application of network decomposition from the paper's
+// introduction. A deterministic distributed maximal independent set (and a
+// (Δ+1)-coloring) is computed by processing the decomposition's colors one
+// by one: clusters of the same color are non-adjacent, so they decide
+// simultaneously, each in time proportional to its *strong* diameter — which
+// is exactly why the strong-diameter guarantee matters: every cluster
+// coordinates entirely inside its own induced subgraph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"strongdecomp"
+)
+
+func main() {
+	// A long cycle keeps the decomposition's diameter bounds binding, so
+	// the color-by-color schedule is visible (several colors, bounded
+	// per-color processing time).
+	g := strongdecomp.CycleGraph(4096)
+
+	d, err := strongdecomp.Decompose(g,
+		strongdecomp.WithAlgorithm(strongdecomp.ChangGhaffariImproved))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("decomposition: %d clusters, %d colors, max strong diameter %d\n",
+		d.K, d.Colors, strongdecomp.MaxStrongDiameter(g, d.Members()))
+
+	meter := strongdecomp.NewMeter()
+	mis, err := strongdecomp.MIS(g, d, strongdecomp.WithMeter(meter))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := strongdecomp.VerifyMIS(g, mis); err != nil {
+		log.Fatal(err)
+	}
+	size := 0
+	for _, in := range mis {
+		if in {
+			size++
+		}
+	}
+	fmt.Printf("MIS size: %d (verified independent and maximal)\n", size)
+	fmt.Printf("schedule cost (sum over colors of 2*diam+2): %d simulated rounds\n", meter.Rounds())
+
+	colorOf, err := strongdecomp.ColorGraph(g, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := strongdecomp.VerifyColoring(g, colorOf, g.MaxDegree()+1); err != nil {
+		log.Fatal(err)
+	}
+	used := 0
+	seen := make(map[int]bool)
+	for _, c := range colorOf {
+		if !seen[c] {
+			seen[c] = true
+			used++
+		}
+	}
+	fmt.Printf("(Δ+1)-coloring: %d palette colors for Δ=%d (verified proper)\n",
+		used, g.MaxDegree())
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/core"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/mpx"
+	"strongdecomp/internal/rounds"
+)
+
+func decompose(t *testing.T, g *graph.Graph) *cluster.Decomposition {
+	t.Helper()
+	d, err := core.DecomposeRG(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMISAcrossFamilies(t *testing.T) {
+	tests := map[string]*graph.Graph{
+		"path":     graph.Path(200),
+		"cycle":    graph.Cycle(256),
+		"grid":     graph.Grid(12, 12),
+		"gnp":      graph.ConnectedGnp(150, 0.04, 3),
+		"star":     graph.Star(50),
+		"complete": graph.Complete(30),
+		"union":    graph.DisjointUnion(graph.Path(40), graph.Cycle(30)),
+	}
+	for name, g := range tests {
+		t.Run(name, func(t *testing.T) {
+			d := decompose(t, g)
+			m := rounds.NewMeter()
+			mis, err := MIS(g, d, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyMIS(g, mis); err != nil {
+				t.Fatal(err)
+			}
+			if m.Component("apps/mis") == 0 {
+				t.Fatal("no schedule cost charged")
+			}
+		})
+	}
+}
+
+func TestMISWithRandomizedDecomposition(t *testing.T) {
+	g := graph.Cycle(300)
+	d, err := mpx.Decompose(g, rand.New(rand.NewSource(5)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := MIS(g, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIS(g, mis); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISRejectsSizeMismatch(t *testing.T) {
+	g := graph.Path(5)
+	d := &cluster.Decomposition{Assign: []int{0}, Color: []int{0}, K: 1, Colors: 1}
+	if _, err := MIS(g, d, nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := ColorGraph(g, d, nil); err == nil {
+		t.Fatal("size mismatch accepted by ColorGraph")
+	}
+}
+
+func TestColoringAcrossFamilies(t *testing.T) {
+	tests := map[string]*graph.Graph{
+		"cycle":    graph.Cycle(256),
+		"grid":     graph.Grid(11, 11),
+		"gnp":      graph.ConnectedGnp(140, 0.05, 7),
+		"complete": graph.Complete(25),
+		"star":     graph.Star(40),
+	}
+	for name, g := range tests {
+		t.Run(name, func(t *testing.T) {
+			d := decompose(t, g)
+			colorOf, err := ColorGraph(g, d, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyColoring(g, colorOf, g.MaxDegree()+1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifyMISCatchesViolations(t *testing.T) {
+	g := graph.Path(3)
+	if err := VerifyMIS(g, []bool{true, true, false}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := VerifyMIS(g, []bool{true, false, false}); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if err := VerifyMIS(g, []bool{true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyColoringCatchesViolations(t *testing.T) {
+	g := graph.Path(3)
+	if err := VerifyColoring(g, []int{0, 0, 1}, 3); err == nil {
+		t.Fatal("improper coloring accepted")
+	}
+	if err := VerifyColoring(g, []int{0, 1, 5}, 3); err == nil {
+		t.Fatal("palette overflow accepted")
+	}
+	if err := VerifyColoring(g, []int{0, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCostPositive(t *testing.T) {
+	g := graph.Cycle(128)
+	d := decompose(t, g)
+	if c := ScheduleCost(g, d); c <= 0 {
+		t.Fatalf("schedule cost %d", c)
+	}
+}
+
+func TestPropertyMISOnRandomGraphs(t *testing.T) {
+	f := func(seed uint8, nRaw uint8) bool {
+		n := 20 + int(nRaw)%100
+		g := graph.ConnectedGnp(n, 0.06, int64(seed))
+		d, err := core.DecomposeRG(g, nil)
+		if err != nil {
+			return false
+		}
+		mis, err := MIS(g, d, nil)
+		if err != nil {
+			return false
+		}
+		colorOf, err := ColorGraph(g, d, nil)
+		if err != nil {
+			return false
+		}
+		return VerifyMIS(g, mis) == nil && VerifyColoring(g, colorOf, g.MaxDegree()+1) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestAblateWeakCarverBlackBox(t *testing.T) {
+	rows, err := AblateWeakCarver("cycle", 512, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 ablation rows, got %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Carver] = r
+		if r.StrongDiam < 0 {
+			t.Fatalf("%s produced a disconnected cluster", r.Carver)
+		}
+		if r.DeadFrac > 0.5+0.01 {
+			t.Fatalf("%s dead fraction %f", r.Carver, r.DeadFrac)
+		}
+	}
+	// The transformation's diameter tracks the weak carver's Steiner depth:
+	// LS (R = O(log n/eps)) must beat RG20 (R = O(log^3 n/eps)).
+	lsRow, rgRow := byName["linial-saks-randomized"], byName["rg20-deterministic"]
+	if lsRow.StrongDiam >= rgRow.StrongDiam {
+		t.Fatalf("LS-instantiated diameter %d should undercut RG20-instantiated %d",
+			lsRow.StrongDiam, rgRow.StrongDiam)
+	}
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"strongdecomp/internal/graph"
+)
+
+type workloadGraph = graph.Graph
+
+func TestTable1RowsCompleteAndOrdered(t *testing.T) {
+	// n = 512 is the smallest size at which the log² vs log³ separation of
+	// the improved variant is visible on the cycle workload.
+	rows, err := Table1("cycle", 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("table 1 has %d rows, want 6", len(rows))
+	}
+	byAlgo := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+		if r.Colors == 0 || r.Rounds == 0 {
+			t.Fatalf("row %s has empty measurements: %+v", r.Algorithm, r)
+		}
+		if r.WeakDiam < 0 {
+			t.Fatalf("row %s weakly disconnected cluster", r.Algorithm)
+		}
+	}
+	// Strong-diameter rows must have connected clusters.
+	for _, algo := range []string{"mpx-elkin-neiman", "sequential-baseline", "chang-ghaffari", "chang-ghaffari-improved"} {
+		if byAlgo[algo].StrongDiam < 0 {
+			t.Fatalf("%s produced a disconnected cluster", algo)
+		}
+	}
+	// Qualitative Table 1 shape: the randomized strong construction has the
+	// smallest diameter among strong constructions, and the improved
+	// deterministic variant beats the basic one once n is large enough for
+	// the log² vs log³ asymptotics to bind.
+	if byAlgo["mpx-elkin-neiman"].StrongDiam >= byAlgo["chang-ghaffari-improved"].StrongDiam {
+		t.Fatalf("MPX diameter %d should undercut improved deterministic %d",
+			byAlgo["mpx-elkin-neiman"].StrongDiam, byAlgo["chang-ghaffari-improved"].StrongDiam)
+	}
+	if byAlgo["chang-ghaffari-improved"].StrongDiam > byAlgo["chang-ghaffari"].StrongDiam {
+		t.Fatalf("improved diameter %d worse than basic %d at n=512",
+			byAlgo["chang-ghaffari-improved"].StrongDiam, byAlgo["chang-ghaffari"].StrongDiam)
+	}
+	// Round ordering: randomized constructions are cheaper than the
+	// deterministic transformation chain.
+	if byAlgo["mpx-elkin-neiman"].Rounds >= byAlgo["chang-ghaffari"].Rounds {
+		t.Fatalf("MPX rounds %d should undercut Thm 2.3 rounds %d",
+			byAlgo["mpx-elkin-neiman"].Rounds, byAlgo["chang-ghaffari"].Rounds)
+	}
+}
+
+func TestTable2RowsCompleteWithDeadBound(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.25} {
+		rows, err := Table2("cycle", 256, eps, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("table 2 has %d rows, want 5", len(rows))
+		}
+		for _, r := range rows {
+			if r.DeadFrac > eps+0.01 {
+				t.Fatalf("%s dead fraction %f exceeds eps %f", r.Algorithm, r.DeadFrac, eps)
+			}
+			if r.Rounds == 0 {
+				t.Fatalf("%s charged no rounds", r.Algorithm)
+			}
+		}
+	}
+}
+
+func TestThm21AccountingTermsPresent(t *testing.T) {
+	acc, err := Thm21Accounting("cycle", 256, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []string{"thm21/gather", "thm21/bfs", "rg/propose"} {
+		if acc.Components[comp] == 0 {
+			t.Fatalf("missing component %s: %v", comp, acc.Components)
+		}
+	}
+	if acc.StrongDiam > acc.DiamBound {
+		t.Fatalf("measured diameter %d exceeds 2R+O(log n/eps) bound %d", acc.StrongDiam, acc.DiamBound)
+	}
+	if acc.DeadFrac > 0.5+0.01 {
+		t.Fatalf("dead fraction %f", acc.DeadFrac)
+	}
+}
+
+func TestBarrierForcesLargeDiameter(t *testing.T) {
+	res, err := Barrier(24, 4, 6, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want 2 barrier results, got %d", len(res))
+	}
+	barrier, torus := res[0], res[1]
+	if barrier.Name != "subdivided-expander" {
+		barrier, torus = res[1], res[0]
+	}
+	// The barrier graph must force larger clusters diameters than the
+	// benign torus of comparable size.
+	if barrier.MaxDiam <= torus.MaxDiam {
+		t.Fatalf("barrier diameter %d not larger than torus %d", barrier.MaxDiam, torus.MaxDiam)
+	}
+}
+
+func TestMessageSizesContrast(t *testing.T) {
+	res, err := MessageSizes(128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineMaxBits > res.CongestBudget {
+		t.Fatalf("engine message %d bits exceeds budget %d", res.EngineMaxBits, res.CongestBudget)
+	}
+	if res.ABCPMaxBits <= int64(res.CongestBudget) {
+		t.Fatalf("ABCP max message %d bits does not exceed CONGEST budget %d — the motivation experiment failed",
+			res.ABCPMaxBits, res.CongestBudget)
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	pts, err := Scaling("cycle", []int{64, 128}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("want 12 scaling points, got %d", len(pts))
+	}
+}
+
+func TestFitLogExponent(t *testing.T) {
+	// Perfect (log n)^3 data must fit k = 3.
+	ns := []int{1 << 4, 1 << 6, 1 << 8, 1 << 10, 1 << 12}
+	vals := make([]int64, len(ns))
+	for i, n := range ns {
+		l := math.Log2(float64(n))
+		vals[i] = int64(l * l * l)
+	}
+	k := FitLogExponent(ns, vals)
+	if math.Abs(k-3) > 0.05 {
+		t.Fatalf("fitted exponent %f, want 3", k)
+	}
+	if !math.IsNaN(FitLogExponent([]int{4}, []int64{1})) {
+		t.Fatal("underdetermined fit should be NaN")
+	}
+	if !math.IsNaN(FitLogExponent([]int{4, 8}, []int64{1})) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+}
+
+func TestTableEdgeValid(t *testing.T) {
+	row, err := TableEdge("cycle", 512, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CutFraction > 0.5+0.01 {
+		t.Fatalf("cut fraction %f", row.CutFraction)
+	}
+	if row.MaxDiam < 0 {
+		t.Fatal("disconnected cluster in remaining graph")
+	}
+	if row.Clusters == 0 || row.Rounds == 0 {
+		t.Fatalf("empty measurements: %+v", row)
+	}
+}
+
+func TestWorkloadFamilies(t *testing.T) {
+	for _, family := range []string{"cycle", "path", "gnp", "grid", "subdivided", ""} {
+		g := mustWorkload(t, family, 200, 1)
+		if g.N() == 0 {
+			t.Fatalf("family %q produced empty graph", family)
+		}
+	}
+	if _, err := Workload("nope", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func mustWorkload(t *testing.T, family string, n int, seed int64) *workloadGraph {
+	t.Helper()
+	g, err := Workload(family, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,199 @@
+// Package cluster defines the output types shared by every decomposition and
+// ball-carving algorithm in this repository — carvings, colored
+// decompositions, and Steiner trees — together with the validators that the
+// test suite and cmd/verify use as correctness oracles.
+//
+// Terminology follows the paper:
+//
+//   - A (C, D) strong-diameter network decomposition partitions the nodes
+//     into clusters colored with C colors so that same-color clusters are
+//     non-adjacent and each cluster's induced subgraph has diameter <= D.
+//   - A strong-diameter ball carving with boundary parameter ε removes at
+//     most an ε fraction of nodes and clusters the rest into non-adjacent
+//     clusters of bounded induced diameter.
+//   - A weak-diameter carving relaxes the diameter to be measured in the
+//     host graph and augments each cluster with a Steiner tree of bounded
+//     depth; each edge may appear in at most L trees (congestion).
+package cluster
+
+import (
+	"fmt"
+
+	"strongdecomp/internal/graph"
+)
+
+// Unclustered marks a node that belongs to no cluster (dead/removed).
+const Unclustered = -1
+
+// Tree is a Steiner tree over the host graph: Parent maps each tree node to
+// its parent (the root maps to -1). Tree nodes may include relay nodes that
+// are not cluster members; that is exactly what makes a cluster's diameter
+// "weak".
+type Tree struct {
+	Root   int
+	Parent map[int]int
+}
+
+// NewTree returns a tree containing only the root.
+func NewTree(root int) *Tree {
+	return &Tree{Root: root, Parent: map[int]int{root: -1}}
+}
+
+// Add attaches node v with parent p. The parent must already be in the tree.
+func (t *Tree) Add(v, p int) error {
+	if _, ok := t.Parent[p]; !ok {
+		return fmt.Errorf("cluster: tree parent %d not in tree", p)
+	}
+	if _, ok := t.Parent[v]; ok {
+		return nil // already present; keep the first attachment
+	}
+	t.Parent[v] = p
+	return nil
+}
+
+// Has reports whether v is a tree node (member or relay).
+func (t *Tree) Has(v int) bool {
+	_, ok := t.Parent[v]
+	return ok
+}
+
+// Depth returns the maximum root-to-node hop distance in the tree.
+func (t *Tree) Depth() int {
+	depth := make(map[int]int, len(t.Parent))
+	var walk func(v int) int
+	walk = func(v int) int {
+		if v == t.Root {
+			return 0
+		}
+		if d, ok := depth[v]; ok {
+			return d
+		}
+		d := walk(t.Parent[v]) + 1
+		depth[v] = d
+		return d
+	}
+	max := 0
+	for v := range t.Parent {
+		if d := walk(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DepthOf returns the hop distance from v to the root along parent pointers,
+// or -1 if v is not in the tree or the walk does not terminate.
+func (t *Tree) DepthOf(v int) int {
+	if _, ok := t.Parent[v]; !ok {
+		return -1
+	}
+	d := 0
+	for u := v; u != t.Root; u = t.Parent[u] {
+		d++
+		if d > len(t.Parent) {
+			return -1
+		}
+	}
+	return d
+}
+
+// Validate checks that the tree's edges exist in g and that every node
+// reaches the root.
+func (t *Tree) Validate(g *graph.Graph) error {
+	for v, p := range t.Parent {
+		if v == t.Root {
+			if p != -1 {
+				return fmt.Errorf("cluster: root %d has parent %d", v, p)
+			}
+			continue
+		}
+		if p < 0 || !g.HasEdge(v, p) {
+			return fmt.Errorf("cluster: tree edge (%d,%d) not in graph", v, p)
+		}
+	}
+	// Reachability: every node must reach the root without cycles.
+	for v := range t.Parent {
+		seen := 0
+		for u := v; u != t.Root; u = t.Parent[u] {
+			seen++
+			if seen > len(t.Parent) {
+				return fmt.Errorf("cluster: cycle in tree at %d", v)
+			}
+			if _, ok := t.Parent[u]; !ok {
+				return fmt.Errorf("cluster: dangling tree node %d", u)
+			}
+		}
+	}
+	return nil
+}
+
+// Carving is the result of a ball-carving algorithm on a host graph: an
+// assignment of surviving nodes to clusters. Dead (removed) nodes have
+// Assign[v] == Unclustered. Centers and Trees are optional per-cluster
+// metadata (weak carvers provide Steiner trees; strong carvers provide
+// centers).
+type Carving struct {
+	Assign  []int   // node -> cluster id in [0, K) or Unclustered
+	K       int     // number of clusters
+	Centers []int   // cluster -> center node (optional, nil if absent)
+	Trees   []*Tree // cluster -> Steiner tree (optional, nil if absent)
+}
+
+// Members returns per-cluster sorted member lists.
+func (c *Carving) Members() [][]int {
+	members := make([][]int, c.K)
+	for v, cl := range c.Assign {
+		if cl != Unclustered {
+			members[cl] = append(members[cl], v)
+		}
+	}
+	return members
+}
+
+// DeadFraction returns the fraction of nodes with no cluster, restricted to
+// the given node set (nil means all nodes).
+func (c *Carving) DeadFraction(nodes []int) float64 {
+	if nodes == nil {
+		dead := 0
+		for _, cl := range c.Assign {
+			if cl == Unclustered {
+				dead++
+			}
+		}
+		if len(c.Assign) == 0 {
+			return 0
+		}
+		return float64(dead) / float64(len(c.Assign))
+	}
+	dead := 0
+	for _, v := range nodes {
+		if c.Assign[v] == Unclustered {
+			dead++
+		}
+	}
+	if len(nodes) == 0 {
+		return 0
+	}
+	return float64(dead) / float64(len(nodes))
+}
+
+// Decomposition is a colored clustering of all nodes of the host graph.
+type Decomposition struct {
+	Assign  []int // node -> cluster id in [0, K)
+	Color   []int // cluster -> color in [0, NumColors)
+	K       int
+	Colors  int   // number of colors
+	Centers []int // optional cluster centers
+}
+
+// NodeColor returns the color of node v's cluster.
+func (d *Decomposition) NodeColor(v int) int { return d.Color[d.Assign[v]] }
+
+// Members returns per-cluster sorted member lists.
+func (d *Decomposition) Members() [][]int {
+	members := make([][]int, d.K)
+	for v, cl := range d.Assign {
+		members[cl] = append(members[cl], v)
+	}
+	return members
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+
+	"strongdecomp/internal/graph"
+)
+
+// CheckEdgeCut verifies the properties shared by weak and strong
+// edge-version carvings of the subgraph induced by nodes (nil = all of g):
+//
+//   - every node of the subgraph is assigned to a cluster (no node dies);
+//   - at most an eps fraction of the subgraph's edges is cut;
+//   - every remaining (uncut) edge joins two nodes of the same cluster.
+func CheckEdgeCut(g *graph.Graph, nodes []int, assign []int, k int, cut [][2]int, eps float64) error {
+	if len(assign) != g.N() {
+		return fmt.Errorf("edge carving: assign length %d, want %d", len(assign), g.N())
+	}
+	if nodes == nil {
+		nodes = make([]int, g.N())
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	inSet := make([]bool, g.N())
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	seen := make([]bool, k)
+	for _, v := range nodes {
+		cl := assign[v]
+		if cl < 0 || cl >= k {
+			return fmt.Errorf("edge carving: node %d unassigned or out of range (%d)", v, cl)
+		}
+		seen[cl] = true
+	}
+	for cl, ok := range seen {
+		if !ok {
+			return fmt.Errorf("edge carving: cluster %d empty", cl)
+		}
+	}
+	isCut := make(map[[2]int]bool, len(cut))
+	for _, e := range cut {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("edge carving: cut edge (%d,%d) not in graph", u, v)
+		}
+		if !inSet[u] || !inSet[v] {
+			return fmt.Errorf("edge carving: cut edge (%d,%d) outside the subgraph", u, v)
+		}
+		isCut[[2]int{u, v}] = true
+	}
+	// Edge budget.
+	total := 0
+	for _, v := range nodes {
+		for _, u := range g.Neighbors(v) {
+			if v < u && inSet[u] {
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		frac := float64(len(isCut)) / float64(total)
+		if frac > eps+1.0/float64(total)+1e-9 {
+			return fmt.Errorf("edge carving: cut fraction %.4f exceeds eps %.4f", frac, eps)
+		}
+	}
+	// Remaining edges are intra-cluster.
+	for _, v := range nodes {
+		for _, u := range g.Neighbors(v) {
+			if v >= u || !inSet[u] {
+				continue
+			}
+			if isCut[[2]int{v, u}] {
+				continue
+			}
+			if assign[v] != assign[u] {
+				return fmt.Errorf("edge carving: remaining edge (%d,%d) crosses clusters %d,%d",
+					v, u, assign[v], assign[u])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEdgeCarving verifies a *strong* edge-version ball carving: the shared
+// CheckEdgeCut properties plus connectivity of every cluster in the
+// remaining graph and, when maxDiam >= 0, its diameter bound there.
+func CheckEdgeCarving(g *graph.Graph, nodes []int, assign []int, k int, cut [][2]int, eps float64, maxDiam int) error {
+	if err := CheckEdgeCut(g, nodes, assign, k, cut, eps); err != nil {
+		return err
+	}
+	if nodes == nil {
+		nodes = make([]int, g.N())
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	isCut := make(map[[2]int]bool, len(cut))
+	for _, e := range cut {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		isCut[[2]int{u, v}] = true
+	}
+	members := make([][]int, k)
+	for _, v := range nodes {
+		members[assign[v]] = append(members[assign[v]], v)
+	}
+	dist := make([]int, g.N())
+	for cl, ms := range members {
+		d, ok := remainingDiameter(g, ms, isCut, dist)
+		if !ok {
+			return fmt.Errorf("edge carving: cluster %d disconnected in the remaining graph", cl)
+		}
+		if maxDiam >= 0 && d > maxDiam {
+			return fmt.Errorf("edge carving: cluster %d diameter %d exceeds %d", cl, d, maxDiam)
+		}
+	}
+	return nil
+}
+
+// remainingDiameter computes the exact diameter of the cluster within the
+// remaining graph (cluster nodes, uncut edges), or ok=false if disconnected.
+func remainingDiameter(g *graph.Graph, members []int, isCut map[[2]int]bool, dist []int) (int, bool) {
+	if len(members) <= 1 {
+		return 0, true
+	}
+	in := make(map[int]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	diam := 0
+	for _, src := range members {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if !in[v] || dist[v] != -1 {
+					continue
+				}
+				a, b := u, v
+				if a > b {
+					a, b = b, a
+				}
+				if isCut[[2]int{a, b}] {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+		if len(queue) != len(members) {
+			return 0, false
+		}
+		if d := dist[queue[len(queue)-1]]; d > diam {
+			diam = d
+		}
+	}
+	return diam, true
+}

@@ -1,0 +1,327 @@
+// Package congest provides a synchronous message-passing simulator for the
+// CONGEST model of Section 1.1 of the paper, together with faithful
+// implementations of the distributed primitives that the graph-level cost
+// model (internal/rounds) charges for. Experiment E8 reconciles the two.
+//
+// The network is an undirected graph; computation proceeds in synchronous
+// rounds; per round each node may send one B-bit message to each neighbor.
+// The engine enforces the bandwidth bound, counts rounds and message bits,
+// executes node programs concurrently on worker goroutines (nodes only touch
+// their own state, and delivery order is canonicalized, so executions are
+// deterministic), and fast-forwards through quiescent rounds so that
+// protocols with long silent stretches still simulate cheaply.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"strongdecomp/internal/graph"
+)
+
+// Payload is the content of a message; Bits reports its encoded size, which
+// the engine checks against the bandwidth bound B.
+type Payload interface {
+	Bits() int
+}
+
+// Message is a payload in transit between two adjacent nodes.
+type Message struct {
+	From, To int
+	Payload  Payload
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// B is the per-message bandwidth bound in bits. Zero selects
+	// DefaultBandwidth(n).
+	B int
+	// MaxRounds aborts runaway protocols. Zero selects 64·n + 64.
+	MaxRounds int
+}
+
+// DefaultBandwidth is the standard CONGEST budget of Θ(log n) bits.
+func DefaultBandwidth(n int) int {
+	return 4*log2ceil(n) + 16
+}
+
+// Metrics summarizes a finished run.
+type Metrics struct {
+	Rounds         int   // logical rounds elapsed (including skipped ones)
+	ActiveRounds   int   // rounds in which some node executed
+	Messages       int64 // messages delivered
+	TotalBits      int64
+	MaxMessageBits int
+}
+
+// Program is a node's state machine. Init runs once at round 0; OnRound runs
+// whenever the node is active (has inbound messages or a due alarm). All
+// interaction with the network goes through the Context.
+type Program interface {
+	Init(ctx *Context)
+	OnRound(ctx *Context, inbox []Message)
+}
+
+// Context is the per-node API surface during Init/OnRound calls.
+type Context struct {
+	id    int
+	round int
+	g     *graph.Graph
+	cfg   Config
+
+	sends   []Message
+	sentTo  map[int]bool
+	alarm   int // -1: none
+	halted  bool
+	err     error
+	metrics localMetrics
+}
+
+type localMetrics struct {
+	messages int64
+	bits     int64
+	maxBits  int
+}
+
+// ID returns this node's identifier.
+func (c *Context) ID() int { return c.id }
+
+// Round returns the current round number.
+func (c *Context) Round() int { return c.round }
+
+// Neighbors returns the node's neighbor list (shared; do not modify).
+func (c *Context) Neighbors() []int { return c.g.Neighbors(c.id) }
+
+// Degree returns the node's degree.
+func (c *Context) Degree() int { return c.g.Degree(c.id) }
+
+// Send queues a message to a neighbor for delivery next round. It fails if
+// the target is not a neighbor, the payload exceeds the bandwidth bound, or
+// a message was already sent to that neighbor this round.
+func (c *Context) Send(to int, p Payload) {
+	if c.err != nil {
+		return
+	}
+	if !c.g.HasEdge(c.id, to) {
+		c.err = fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to)
+		return
+	}
+	if bits := p.Bits(); bits > c.cfg.B {
+		c.err = fmt.Errorf("congest: node %d message of %d bits exceeds B=%d", c.id, bits, c.cfg.B)
+		return
+	}
+	if c.sentTo[to] {
+		c.err = fmt.Errorf("congest: node %d sent twice to %d in round %d", c.id, to, c.round)
+		return
+	}
+	c.sentTo[to] = true
+	c.sends = append(c.sends, Message{From: c.id, To: to, Payload: p})
+	c.metrics.messages++
+	b := p.Bits()
+	c.metrics.bits += int64(b)
+	if b > c.metrics.maxBits {
+		c.metrics.maxBits = b
+	}
+}
+
+// Broadcast sends the payload to every neighbor.
+func (c *Context) Broadcast(p Payload) {
+	for _, w := range c.Neighbors() {
+		c.Send(w, p)
+	}
+}
+
+// SetAlarm schedules OnRound at the given absolute round even if no message
+// arrives. Earlier alarms win; past rounds are ignored.
+func (c *Context) SetAlarm(round int) {
+	if round <= c.round {
+		return
+	}
+	if c.alarm == -1 || round < c.alarm {
+		c.alarm = round
+	}
+}
+
+// Halt permanently deactivates the node; it receives no further OnRound
+// calls (in-flight messages to it are still counted but dropped).
+func (c *Context) Halt() { c.halted = true }
+
+// Run simulates programs on g until quiescence (no messages in flight, no
+// alarms pending) or cfg.MaxRounds, whichever comes first. programs[v] is
+// node v's program; len(programs) must equal g.N().
+func Run(g *graph.Graph, programs []Program, cfg Config) (*Metrics, error) {
+	n := g.N()
+	if len(programs) != n {
+		return nil, fmt.Errorf("congest: %d programs for %d nodes", len(programs), n)
+	}
+	if cfg.B == 0 {
+		cfg.B = DefaultBandwidth(n)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 64*n + 64
+	}
+	ctxs := make([]*Context, n)
+	for v := 0; v < n; v++ {
+		ctxs[v] = &Context{id: v, g: g, cfg: cfg, alarm: -1, sentTo: make(map[int]bool)}
+	}
+
+	met := &Metrics{}
+	// Round 0: Init everywhere.
+	runParallel(n, func(v int) {
+		ctxs[v].round = 0
+		programs[v].Init(ctxs[v])
+	})
+	if err := firstError(ctxs); err != nil {
+		return nil, err
+	}
+	met.ActiveRounds++
+	inboxes := collectSends(ctxs, n)
+
+	round := 0
+	for {
+		// Decide the next round with activity.
+		next := -1
+		if len(inboxes) > 0 {
+			next = round + 1
+		}
+		for _, c := range ctxs {
+			if c.halted || c.alarm == -1 {
+				continue
+			}
+			if next == -1 || c.alarm < next {
+				next = c.alarm
+			}
+		}
+		if next == -1 {
+			break // quiescent: protocol finished
+		}
+		if next > cfg.MaxRounds {
+			return nil, fmt.Errorf("congest: exceeded MaxRounds=%d", cfg.MaxRounds)
+		}
+		round = next
+
+		active := make([]int, 0, len(inboxes))
+		seen := make(map[int]bool, len(inboxes))
+		for v := range inboxes {
+			if !ctxs[v].halted {
+				active = append(active, v)
+				seen[v] = true
+			}
+		}
+		for v, c := range ctxs {
+			if !c.halted && c.alarm == round && !seen[v] {
+				active = append(active, v)
+			}
+		}
+		sort.Ints(active)
+
+		cur := inboxes
+		runParallel(len(active), func(i int) {
+			v := active[i]
+			c := ctxs[v]
+			c.round = round
+			if c.alarm == round {
+				c.alarm = -1
+			}
+			inbox := cur[v]
+			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+			programs[v].OnRound(c, inbox)
+		})
+		if err := firstError(ctxs); err != nil {
+			return nil, err
+		}
+		met.ActiveRounds++
+		inboxes = collectSends(ctxs, n)
+	}
+
+	met.Rounds = round + 1
+	for _, c := range ctxs {
+		met.Messages += c.metrics.messages
+		met.TotalBits += c.metrics.bits
+		if c.metrics.maxBits > met.MaxMessageBits {
+			met.MaxMessageBits = c.metrics.maxBits
+		}
+	}
+	return met, nil
+}
+
+// collectSends drains per-node outboxes into per-recipient inboxes and
+// resets the per-round send state.
+func collectSends(ctxs []*Context, n int) map[int][]Message {
+	inboxes := make(map[int][]Message)
+	for v := 0; v < n; v++ {
+		c := ctxs[v]
+		for _, msg := range c.sends {
+			inboxes[msg.To] = append(inboxes[msg.To], msg)
+		}
+		c.sends = c.sends[:0]
+		for k := range c.sentTo {
+			delete(c.sentTo, k)
+		}
+	}
+	return inboxes
+}
+
+func firstError(ctxs []*Context) error {
+	var errs []error
+	for _, c := range ctxs {
+		if c.err != nil {
+			errs = append(errs, c.err)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.Join(errs...)
+}
+
+// runParallel executes fn(0..n-1) across worker goroutines and waits.
+func runParallel(n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

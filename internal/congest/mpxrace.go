@@ -1,0 +1,218 @@
+package congest
+
+import (
+	"math/rand"
+
+	"strongdecomp/internal/graph"
+)
+
+// This file implements the MPX shifted-start clustering race as a real
+// message-passing protocol: every node u starts its own BFS front at round
+// maxShift − shift_u and nodes adopt the earliest-arriving front
+// (ties by smaller source id). Each node keeps and forwards its best two
+// distinct-source arrivals, which is exactly the information the corridor
+// rule of internal/mpx needs, so the graph-level and message-level
+// implementations can be reconciled token for token (experiment E8).
+
+// raceToken announces up to two fronts adopted in the same round, packed
+// into one message to respect the one-message-per-edge-per-round rule while
+// staying within O(log n) bits. Tokens beyond the best two of a round are
+// dominated downstream and are legitimately dropped.
+type raceToken struct {
+	sources [2]int // second entry -1 if absent
+	idBits  int
+}
+
+func (t raceToken) Bits() int { return 2*t.idBits + 2 }
+
+// RaceResult is one node's outcome of the race.
+type RaceResult struct {
+	Source  int // winning source (-1 if never reached)
+	Arrival int // arrival round of the winner
+	Second  int // best distinct-source runner-up arrival (-1 if none)
+	SecSrc  int
+}
+
+// RaceProgram runs the shifted BFS race at one node.
+type RaceProgram struct {
+	Shift    int // integer shift of this node
+	MaxShift int
+	N        int
+
+	res       RaceResult
+	started   bool
+	forwarded map[int]bool // sources already forwarded
+}
+
+var _ Program = (*RaceProgram)(nil)
+
+// NewRacePrograms builds the per-node programs from integer shifts.
+func NewRacePrograms(g *graph.Graph, shifts []int) []Program {
+	maxShift := 0
+	for _, s := range shifts {
+		if s > maxShift {
+			maxShift = s
+		}
+	}
+	ps := make([]Program, g.N())
+	for v := 0; v < g.N(); v++ {
+		ps[v] = &RaceProgram{
+			Shift:     shifts[v],
+			MaxShift:  maxShift,
+			N:         g.N(),
+			res:       RaceResult{Source: -1, Arrival: -1, Second: -1, SecSrc: -1},
+			forwarded: make(map[int]bool),
+		}
+	}
+	return ps
+}
+
+// Init schedules the node's own start.
+func (p *RaceProgram) Init(ctx *Context) {
+	start := p.MaxShift - p.Shift
+	if start == 0 {
+		p.adopt(ctx.ID(), 0)
+		p.started = true
+		p.flush(ctx)
+	} else {
+		ctx.SetAlarm(start)
+	}
+}
+
+// OnRound handles the delayed self-start and incoming fronts, then forwards
+// the round's surviving adoptions as a single packed message.
+func (p *RaceProgram) OnRound(ctx *Context, inbox []Message) {
+	if !p.started && ctx.Round() == p.MaxShift-p.Shift {
+		p.adopt(ctx.ID(), ctx.Round())
+		p.started = true
+	}
+	for _, msg := range inbox {
+		tok := msg.Payload.(raceToken)
+		for _, src := range tok.sources {
+			if src >= 0 {
+				p.adopt(src, ctx.Round())
+			}
+		}
+	}
+	p.flush(ctx)
+}
+
+// adopt updates the best-two arrivals (no sends; flush forwards survivors).
+func (p *RaceProgram) adopt(source, round int) {
+	switch {
+	case p.res.Source == -1:
+		p.res.Source, p.res.Arrival = source, round
+	case source == p.res.Source || source == p.res.SecSrc:
+		// stale duplicate
+	case round < p.res.Arrival || (round == p.res.Arrival && source < p.res.Source):
+		p.res.Second, p.res.SecSrc = p.res.Arrival, p.res.Source
+		p.res.Source, p.res.Arrival = source, round
+	case p.res.Second == -1 || round < p.res.Second || (round == p.res.Second && source < p.res.SecSrc):
+		p.res.Second, p.res.SecSrc = round, source
+	}
+}
+
+// flush broadcasts the slot-holders that have not been forwarded yet: at
+// most two per round, packed into one message. A source adopted but
+// displaced within the same round is dominated downstream by the two
+// forwarded slot-holders, so dropping it preserves every node's best-two.
+func (p *RaceProgram) flush(ctx *Context) {
+	tok := raceToken{sources: [2]int{-1, -1}, idBits: log2ceil(p.N)}
+	i := 0
+	for _, src := range []int{p.res.Source, p.res.SecSrc} {
+		if src >= 0 && !p.forwarded[src] {
+			p.forwarded[src] = true
+			tok.sources[i] = src
+			i++
+		}
+	}
+	if i > 0 {
+		ctx.Broadcast(tok)
+	}
+}
+
+// RunRace executes the race and returns per-node results.
+func RunRace(g *graph.Graph, shifts []int, cfg Config) ([]RaceResult, *Metrics, error) {
+	ps := NewRacePrograms(g, shifts)
+	met, err := Run(g, ps, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]RaceResult, g.N())
+	for v, p := range ps {
+		out[v] = p.(*RaceProgram).res
+	}
+	return out, met, nil
+}
+
+// GeometricShifts samples integer shifts Geom(p) truncated at cap, the
+// integerized analogue of the exponential shifts of internal/mpx.
+func GeometricShifts(n int, p float64, cap int, rng *rand.Rand) []int {
+	shifts := make([]int, n)
+	for i := range shifts {
+		s := 0
+		for s < cap && rng.Float64() >= p {
+			s++
+		}
+		shifts[i] = s
+	}
+	return shifts
+}
+
+// ReferenceRace computes the same best-two race at graph level (multi-source
+// BFS with start offsets), used to validate the protocol: returns per-node
+// (winning source, arrival round).
+func ReferenceRace(g *graph.Graph, shifts []int) []RaceResult {
+	n := g.N()
+	maxShift := 0
+	for _, s := range shifts {
+		if s > maxShift {
+			maxShift = s
+		}
+	}
+	res := make([]RaceResult, n)
+	for v := range res {
+		res[v] = RaceResult{Source: -1, Arrival: -1, Second: -1, SecSrc: -1}
+	}
+	// Round-synchronous relaxation, mirroring the protocol exactly.
+	type ev struct{ node, source int }
+	frontier := make(map[int][]ev)
+	for v := 0; v < n; v++ {
+		frontier[maxShift-shifts[v]] = append(frontier[maxShift-shifts[v]], ev{node: v, source: v})
+	}
+	for round := 0; len(frontier) > 0; round++ {
+		evs, ok := frontier[round]
+		if !ok {
+			delete(frontier, round)
+			continue
+		}
+		delete(frontier, round)
+		// Deterministic processing order: by (source, node).
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0 && (evs[j].source < evs[j-1].source ||
+				(evs[j].source == evs[j-1].source && evs[j].node < evs[j-1].node)); j-- {
+				evs[j], evs[j-1] = evs[j-1], evs[j]
+			}
+		}
+		for _, e := range evs {
+			r := &res[e.node]
+			switch {
+			case r.Source == -1:
+				r.Source, r.Arrival = e.source, round
+			case e.source == r.Source || e.source == r.SecSrc:
+				continue
+			case round < r.Arrival || (round == r.Arrival && e.source < r.Source):
+				r.Second, r.SecSrc = r.Arrival, r.Source
+				r.Source, r.Arrival = e.source, round
+			case r.Second == -1 || round < r.Second || (round == r.Second && e.source < r.SecSrc):
+				r.Second, r.SecSrc = round, e.source
+			default:
+				continue
+			}
+			for _, w := range g.Neighbors(e.node) {
+				frontier[round+1] = append(frontier[round+1], ev{node: w, source: e.source})
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,232 @@
+package congest
+
+import (
+	"strongdecomp/internal/graph"
+)
+
+// This file implements the primitive protocols that the graph-level cost
+// model charges for: BFS tree construction, min-id flooding (leader
+// election), and tree convergecast (subtree counting). Each is written as a
+// plain Program so tests can reconcile its measured round count with the
+// model's charge (experiment E8 in DESIGN.md).
+
+// idPayload is a single node identifier: the workhorse O(log n)-bit message.
+type idPayload struct {
+	id     int
+	idBits int
+}
+
+func (p idPayload) Bits() int { return p.idBits + 2 }
+
+// --- BFS ---------------------------------------------------------------
+
+// BFSProgram builds a BFS tree from a designated source. After Run, Dist
+// and Parent hold the result for this node (-1 when unreached).
+type BFSProgram struct {
+	Src    int
+	N      int
+	Dist   int
+	Parent int
+
+	visited bool
+}
+
+var _ Program = (*BFSProgram)(nil)
+
+// NewBFSPrograms allocates one BFS program per node of g.
+func NewBFSPrograms(g *graph.Graph, src int) []Program {
+	ps := make([]Program, g.N())
+	for v := 0; v < g.N(); v++ {
+		ps[v] = &BFSProgram{Src: src, N: g.N(), Dist: -1, Parent: -1}
+	}
+	return ps
+}
+
+// Init starts the flood at the source.
+func (b *BFSProgram) Init(ctx *Context) {
+	if ctx.ID() == b.Src {
+		b.visited = true
+		b.Dist = 0
+		ctx.Broadcast(idPayload{id: ctx.ID(), idBits: log2ceil(b.N)})
+	}
+}
+
+// OnRound adopts the first token received and forwards it once.
+func (b *BFSProgram) OnRound(ctx *Context, inbox []Message) {
+	if b.visited || len(inbox) == 0 {
+		return
+	}
+	b.visited = true
+	b.Dist = ctx.Round()
+	b.Parent = inbox[0].From // inbox sorted by sender id: deterministic
+	ctx.Broadcast(idPayload{id: ctx.ID(), idBits: log2ceil(b.N)})
+	ctx.Halt()
+}
+
+// RunBFS executes the BFS protocol and returns (dist, parent, metrics).
+func RunBFS(g *graph.Graph, src int, cfg Config) ([]int, []int, *Metrics, error) {
+	ps := NewBFSPrograms(g, src)
+	met, err := Run(g, ps, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dist := make([]int, g.N())
+	parent := make([]int, g.N())
+	for v, p := range ps {
+		bp := p.(*BFSProgram)
+		dist[v], parent[v] = bp.Dist, bp.Parent
+	}
+	return dist, parent, met, nil
+}
+
+// --- Min-id flooding (leader election) ----------------------------------
+
+// MinIDProgram floods the minimum identifier; on a connected graph every
+// node learns the global minimum within diameter rounds, electing a leader
+// with O(log n)-bit messages.
+type MinIDProgram struct {
+	N   int
+	Min int
+}
+
+var _ Program = (*MinIDProgram)(nil)
+
+// NewMinIDPrograms allocates one program per node.
+func NewMinIDPrograms(g *graph.Graph) []Program {
+	ps := make([]Program, g.N())
+	for v := 0; v < g.N(); v++ {
+		ps[v] = &MinIDProgram{N: g.N(), Min: v}
+	}
+	return ps
+}
+
+// Init announces the node's own id.
+func (p *MinIDProgram) Init(ctx *Context) {
+	p.Min = ctx.ID()
+	ctx.Broadcast(idPayload{id: p.Min, idBits: log2ceil(p.N)})
+}
+
+// OnRound forwards improvements; quiescence is termination.
+func (p *MinIDProgram) OnRound(ctx *Context, inbox []Message) {
+	improved := false
+	for _, msg := range inbox {
+		if id := msg.Payload.(idPayload).id; id < p.Min {
+			p.Min = id
+			improved = true
+		}
+	}
+	if improved {
+		ctx.Broadcast(idPayload{id: p.Min, idBits: log2ceil(p.N)})
+	}
+}
+
+// RunMinID executes leader election and returns each node's learned minimum.
+func RunMinID(g *graph.Graph, cfg Config) ([]int, *Metrics, error) {
+	ps := NewMinIDPrograms(g)
+	met, err := Run(g, ps, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mins := make([]int, g.N())
+	for v, p := range ps {
+		mins[v] = p.(*MinIDProgram).Min
+	}
+	return mins, met, nil
+}
+
+// --- Convergecast (subtree count) ---------------------------------------
+
+// countPayload carries a partial subtree count up a tree edge.
+type countPayload struct {
+	count   int
+	valBits int
+}
+
+func (p countPayload) Bits() int { return p.valBits + 2 }
+
+// CountProgram convergecasts the number of nodes in a rooted tree given by
+// Parent pointers (computed, e.g., by RunBFS). Leaves report 1; internal
+// nodes add children's counts and forward; the root's Total is the answer.
+// This is the "gather cluster size over the Steiner tree" primitive of
+// Theorem 2.1, whose cost the model charges as depth × congestion.
+type CountProgram struct {
+	Parent   []int // parent pointer per node (-1 at root / non-tree nodes)
+	N        int
+	Total    int // valid at the root after Run
+	children int
+	reported int
+	sum      int
+	isRoot   bool
+}
+
+var _ Program = (*CountProgram)(nil)
+
+// NewCountPrograms builds programs for the tree defined by parent pointers;
+// nodes with parent[v] == -1 and no children are inert.
+func NewCountPrograms(g *graph.Graph, parent []int, root int) []Program {
+	n := g.N()
+	childCount := make([]int, n)
+	inTree := make([]bool, n)
+	inTree[root] = true
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			childCount[p]++
+			inTree[v] = true
+		}
+	}
+	ps := make([]Program, n)
+	for v := 0; v < n; v++ {
+		cp := &CountProgram{Parent: parent, N: n, isRoot: v == root}
+		cp.children = childCount[v]
+		if !inTree[v] {
+			cp.children = -1 // inert
+		}
+		ps[v] = cp
+	}
+	return ps
+}
+
+// Init lets leaves fire immediately.
+func (p *CountProgram) Init(ctx *Context) {
+	if p.children == -1 {
+		ctx.Halt()
+		return
+	}
+	p.sum = 1
+	if p.children == 0 && !p.isRoot {
+		ctx.Send(p.Parent[ctx.ID()], countPayload{count: p.sum, valBits: log2ceil(p.N + 1)})
+		ctx.Halt()
+	}
+	if p.children == 0 && p.isRoot {
+		p.Total = p.sum
+		ctx.Halt()
+	}
+}
+
+// OnRound accumulates child reports and forwards when complete.
+func (p *CountProgram) OnRound(ctx *Context, inbox []Message) {
+	for _, msg := range inbox {
+		p.sum += msg.Payload.(countPayload).count
+		p.reported++
+	}
+	if p.reported < p.children {
+		return
+	}
+	if p.isRoot {
+		p.Total = p.sum
+	} else {
+		ctx.Send(p.Parent[ctx.ID()], countPayload{count: p.sum, valBits: log2ceil(p.N + 1)})
+	}
+	ctx.Halt()
+}
+
+// RunTreeCount counts the nodes of the tree rooted at root (parent pointers
+// as produced by RunBFS) and returns (count, metrics).
+func RunTreeCount(g *graph.Graph, parent []int, root int, cfg Config) (int, *Metrics, error) {
+	ps := NewCountPrograms(g, parent, root)
+	met, err := Run(g, ps, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ps[root].(*CountProgram).Total, met, nil
+}

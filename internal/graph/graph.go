@@ -1,0 +1,187 @@
+// Package graph provides the undirected-graph substrate shared by every
+// algorithm in this repository: a compact adjacency representation, the
+// synthetic graph families used in the experiments (including the subdivided
+// expander of the paper's Section 3 barrier), and the traversal and metric
+// primitives (BFS, connected components, diameters, induced subgraphs, power
+// graphs) that the decomposition algorithms are built from.
+//
+// Graphs are simple (no self-loops, no parallel edges) and nodes are the
+// integers 0..N()-1, matching the CONGEST-model convention of O(log n)-bit
+// unique identifiers.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph.
+type Graph struct {
+	adj [][]int // sorted neighbor lists
+	m   int     // number of edges
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges [][2]int
+	err   error
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (0..n-1).
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n}
+	if n < 0 {
+		b.err = errors.New("graph: negative node count")
+	}
+	return b
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops and out-of-range
+// endpoints are rejected; duplicate edges are deduplicated at Build time.
+func (b *Builder) AddEdge(u, v int) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self-loop at %d", u)
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int{u, v})
+}
+
+// Build finalizes the graph, deduplicating edges and sorting adjacency lists.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	deg := make([]int, b.n)
+	m := 0
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+		m++
+	}
+	adj := make([][]int, b.n)
+	buf := make([]int, 2*m)
+	for v := 0; v < b.n; v++ {
+		adj[v], buf = buf[:0:deg[v]], buf[deg[v]:]
+	}
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return &Graph{adj: adj, m: m}, nil
+}
+
+// MustBuild is Build for graphs constructed from trusted generator code; it
+// panics on error, which only happens on generator bugs.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's neighbor list in increasing order. The returned
+// slice is shared with the graph's internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > max {
+			max = len(g.adj[v])
+		}
+	}
+	return max
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, in sorted order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// EdgeIndex assigns each undirected edge a dense index in [0, M()) following
+// the order of Edges. It is used by Steiner-tree congestion accounting.
+type EdgeIndex struct {
+	g     *Graph
+	index map[[2]int]int
+}
+
+// NewEdgeIndex builds the edge index for g.
+func NewEdgeIndex(g *Graph) *EdgeIndex {
+	idx := make(map[[2]int]int, g.m)
+	for i, e := range g.Edges() {
+		idx[e] = i
+	}
+	return &EdgeIndex{g: g, index: idx}
+}
+
+// Lookup returns the dense index of edge {u, v} and whether it exists.
+func (ei *EdgeIndex) Lookup(u, v int) (int, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	i, ok := ei.index[[2]int{u, v}]
+	return i, ok
+}

@@ -1,0 +1,386 @@
+package rg
+
+// This file implements the *edge version* of the deterministic weak-diameter
+// carving, which the paper states alongside the node version ("all results
+// in Table 2 ... also apply to the edge version, where we remove at most an
+// ε fraction of the edges, instead of removing nodes. The proofs for the
+// edge version are essentially the same").
+//
+// The skeleton is the node version's bit-phase growth with two changes:
+//
+//   - when a red cluster retires, the *edges* between it and its proposers
+//     are cut instead of killing the proposers — every node stays alive and
+//     ends up in some cluster;
+//   - acceptance is measured in volume: a red cluster X accepts iff the
+//     number of proposal edges is at least δ·vol(X) (vol = degree sum of
+//     members in the remaining graph), with δ = ε/(4b). A retiring cluster
+//     therefore cuts fewer than δ·vol(X) edges; summing vol over clusters
+//     bounds each phase's cuts by 2δ·m, and the b phases by ε·m/2.
+//
+// The phase-end invariant carries over verbatim: any remaining (uncut) edge
+// from a live blue node to a red cluster would have triggered a proposal, so
+// after all phases every remaining inter-cluster edge is gone, i.e. the
+// clusters are non-adjacent in the remaining graph.
+
+import (
+	"fmt"
+	"sort"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/rounds"
+)
+
+// EdgeCarving is the result of the edge-version weak carving: a clustering
+// of all nodes (nobody dies) plus the set of removed edges. Within the
+// remaining graph (g minus Cut), distinct clusters are non-adjacent.
+type EdgeCarving struct {
+	Carving *cluster.Carving
+	Cut     [][2]int // removed edges, canonical (u < v) order
+}
+
+// CarveEdges runs the edge-version weak carving on the subgraph induced by
+// nodes (nil = all of g): it cuts at most an eps fraction of that subgraph's
+// edges and clusters every node, with per-cluster Steiner trees as in the
+// node version. Steiner trees only use uncut edges.
+func CarveEdges(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*EdgeCarving, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("rg: eps %v outside (0, 1]", eps)
+	}
+	n := g.N()
+	if nodes == nil {
+		nodes = make([]int, n)
+		for v := range nodes {
+			nodes[v] = v
+		}
+	}
+	st := newEdgeState(g, nodes, eps)
+	for phase := 0; phase < st.b; phase++ {
+		st.runPhase(phase, m)
+	}
+	return st.result(), nil
+}
+
+type edgeState struct {
+	g     *graph.Graph
+	b     int
+	delta float64
+
+	inS      []bool
+	label    []int
+	cut      map[[2]int]bool
+	clusters map[int]*edgeClusterInfo
+
+	activeBlue []int
+	inActive   []bool
+}
+
+type edgeClusterInfo struct {
+	label    int
+	vol      int // degree sum of members in the remaining subgraph
+	tree     *cluster.Tree
+	depth    map[int]int
+	maxDepth int
+	retired  bool
+}
+
+func newEdgeState(g *graph.Graph, nodes []int, eps float64) *edgeState {
+	n := g.N()
+	st := &edgeState{
+		g:        g,
+		b:        labelBits(n),
+		delta:    eps / (4 * float64(labelBits(n))),
+		inS:      make([]bool, n),
+		label:    make([]int, n),
+		cut:      make(map[[2]int]bool),
+		clusters: make(map[int]*edgeClusterInfo, len(nodes)),
+		inActive: make([]bool, n),
+	}
+	for v := range st.label {
+		st.label[v] = -1
+	}
+	for _, v := range nodes {
+		st.inS[v] = true
+		st.label[v] = v
+	}
+	for _, v := range nodes {
+		st.clusters[v] = &edgeClusterInfo{
+			label: v,
+			vol:   st.degreeIn(v),
+			tree:  cluster.NewTree(v),
+			depth: map[int]int{v: 0},
+		}
+	}
+	return st
+}
+
+// degreeIn returns v's degree within the induced, uncut subgraph.
+func (st *edgeState) degreeIn(v int) int {
+	d := 0
+	for _, u := range st.g.Neighbors(v) {
+		if st.inS[u] && !st.isCut(v, u) {
+			d++
+		}
+	}
+	return d
+}
+
+func (st *edgeState) isCut(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return st.cut[[2]int{u, v}]
+}
+
+func (st *edgeState) cutEdge(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	if !st.cut[[2]int{u, v}] {
+		st.cut[[2]int{u, v}] = true
+		// Volumes shrink with the cut edge.
+		st.clusters[st.label[u]].vol--
+		st.clusters[st.label[v]].vol--
+	}
+}
+
+func (st *edgeState) runPhase(phase int, m *rounds.Meter) {
+	for _, c := range st.clusters {
+		c.retired = false
+	}
+	st.seedActiveBlue(phase)
+	for {
+		proposals := st.collectProposals(phase)
+		if len(proposals) == 0 {
+			break
+		}
+		m.Charge("rg/propose", 2)
+		st.resolveProposals(proposals, m)
+	}
+	depth := 0
+	for _, c := range st.clusters {
+		if c.maxDepth > depth {
+			depth = c.maxDepth
+		}
+	}
+	m.Charge("rg/congestion", int64(depth+1)*int64(phase+1))
+}
+
+func (st *edgeState) seedActiveBlue(phase int) {
+	st.activeBlue = st.activeBlue[:0]
+	for v := range st.inActive {
+		st.inActive[v] = false
+	}
+	for v, ok := range st.inS {
+		if !ok || bit(st.label[v], phase) != 0 {
+			continue
+		}
+		for _, u := range st.g.Neighbors(v) {
+			if st.inS[u] && !st.isCut(v, u) && bit(st.label[u], phase) == 1 {
+				st.addActive(v)
+				break
+			}
+		}
+	}
+}
+
+func (st *edgeState) addActive(v int) {
+	if !st.inActive[v] {
+		st.inActive[v] = true
+		st.activeBlue = append(st.activeBlue, v)
+	}
+}
+
+// edgeProposal is one (blue node, red cluster) proposal carrying all of the
+// node's uncut edges into that cluster (via is the smallest-id endpoint,
+// used for the tree attachment). Unlike the node version, a blue node
+// proposes to EVERY adjacent live red cluster: this guarantees that when a
+// cluster retires, every remaining blue-to-it edge belongs to a proposer and
+// gets cut, which is what preserves the phase-end invariant without killing
+// nodes.
+type edgeProposal struct {
+	node   int
+	target int // label of the proposed-to cluster
+	via    int
+	edges  int
+}
+
+func (st *edgeState) collectProposals(phase int) map[int][]edgeProposal {
+	sort.Ints(st.activeBlue)
+	kept := st.activeBlue[:0]
+	proposals := make(map[int][]edgeProposal)
+	for _, v := range st.activeBlue {
+		if bit(st.label[v], phase) != 0 {
+			st.inActive[v] = false
+			continue
+		}
+		// Group v's uncut red edges by live target cluster.
+		perTarget := make(map[int]*edgeProposal)
+		anyLive := false
+		for _, u := range st.g.Neighbors(v) {
+			if !st.inS[u] || st.isCut(v, u) || bit(st.label[u], phase) != 1 {
+				continue
+			}
+			lu := st.label[u]
+			if st.clusters[lu].retired {
+				continue
+			}
+			anyLive = true
+			if p, ok := perTarget[lu]; ok {
+				p.edges++
+				if u < p.via {
+					p.via = u
+				}
+			} else {
+				perTarget[lu] = &edgeProposal{node: v, target: lu, via: u, edges: 1}
+			}
+		}
+		if anyLive {
+			for lu, p := range perTarget {
+				proposals[lu] = append(proposals[lu], *p)
+			}
+			kept = append(kept, v)
+		} else {
+			st.inActive[v] = false
+		}
+	}
+	st.activeBlue = kept
+	return proposals
+}
+
+func (st *edgeState) resolveProposals(proposals map[int][]edgeProposal, m *rounds.Meter) {
+	labels := make([]int, 0, len(proposals))
+	maxDepth := 0
+	for l := range proposals {
+		labels = append(labels, l)
+		if d := st.clusters[l].maxDepth; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	sort.Ints(labels)
+	m.Charge("rg/aggregate", 2*int64(maxDepth+1))
+	m.ChargeMessages(int64(len(proposals)))
+
+	// Simultaneous accept/retire decisions against this step's proposals.
+	accepted := make(map[int]bool, len(labels))
+	for _, l := range labels {
+		x := st.clusters[l]
+		edgeCount := 0
+		for _, p := range proposals[l] {
+			edgeCount += p.edges
+		}
+		if float64(edgeCount) >= st.delta*float64(x.vol) {
+			accepted[l] = true
+		} else {
+			x.retired = true
+		}
+	}
+	// Joins: each proposer joins its smallest-label accepting target.
+	joinTarget := make(map[int]*edgeProposal)
+	for _, l := range labels {
+		if !accepted[l] {
+			continue
+		}
+		for i := range proposals[l] {
+			p := &proposals[l][i]
+			if cur, ok := joinTarget[p.node]; !ok || cur.target > l {
+				joinTarget[p.node] = p
+			}
+		}
+	}
+	for _, l := range labels {
+		if accepted[l] {
+			continue
+		}
+		// Retired: cut every proposal edge into this cluster, unless the
+		// proposer joins it... which it cannot (it is retired), so cut all.
+		for _, p := range proposals[l] {
+			for _, u := range st.g.Neighbors(p.node) {
+				if st.inS[u] && !st.isCut(p.node, u) && st.label[u] == l {
+					st.cutEdge(p.node, u)
+				}
+			}
+		}
+	}
+	// Apply joins in deterministic node order.
+	joiners := make([]int, 0, len(joinTarget))
+	for v := range joinTarget {
+		joiners = append(joiners, v)
+	}
+	sort.Ints(joiners)
+	for _, v := range joiners {
+		p := joinTarget[v]
+		st.join(st.clusters[p.target], *p)
+	}
+}
+
+func (st *edgeState) join(x *edgeClusterInfo, p edgeProposal) {
+	v := p.node
+	if st.label[v] == x.label {
+		return
+	}
+	old := st.clusters[st.label[v]]
+	dv := st.degreeIn(v)
+	old.vol -= dv
+	st.label[v] = x.label
+	x.vol += dv
+	if err := x.tree.Add(v, p.via); err != nil {
+		panic(fmt.Sprintf("rg: edge tree invariant broken: %v", err))
+	}
+	if d, ok := x.depth[v]; !ok || d > x.depth[p.via]+1 {
+		x.depth[v] = x.depth[p.via] + 1
+	}
+	if x.depth[v] > x.maxDepth {
+		x.maxDepth = x.depth[v]
+	}
+	for _, w := range st.g.Neighbors(v) {
+		if st.inS[w] && !st.isCut(v, w) {
+			st.addActive(w)
+		}
+	}
+}
+
+func (st *edgeState) result() *EdgeCarving {
+	assign := make([]int, st.g.N())
+	for v := range assign {
+		assign[v] = cluster.Unclustered
+	}
+	var labels []int
+	counts := make(map[int]int)
+	for v, ok := range st.inS {
+		if ok {
+			counts[st.label[v]]++
+		}
+	}
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	id := make(map[int]int, len(labels))
+	centers := make([]int, len(labels))
+	trees := make([]*cluster.Tree, len(labels))
+	for i, l := range labels {
+		id[l] = i
+		centers[i] = st.clusters[l].tree.Root
+		trees[i] = st.clusters[l].tree
+	}
+	for v, ok := range st.inS {
+		if ok {
+			assign[v] = id[st.label[v]]
+		}
+	}
+	cut := make([][2]int, 0, len(st.cut))
+	for e := range st.cut {
+		cut = append(cut, e)
+	}
+	sort.Slice(cut, func(i, j int) bool {
+		if cut[i][0] != cut[j][0] {
+			return cut[i][0] < cut[j][0]
+		}
+		return cut[i][1] < cut[j][1]
+	})
+	return &EdgeCarving{
+		Carving: &cluster.Carving{Assign: assign, K: len(labels), Centers: centers, Trees: trees},
+		Cut:     cut,
+	}
+}

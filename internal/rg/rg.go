@@ -1,0 +1,356 @@
+// Package rg implements the deterministic weak-diameter ball carving of
+// Rozhoň and Ghaffari [RG20], which the paper uses as its black-box
+// algorithm A (the paper plugs in the optimized variant of Ghaffari, Grunau,
+// and Rozhoň [GGR21]; see DESIGN.md for the substitution note).
+//
+// Given an n-node graph and a boundary parameter ε, Carve removes at most an
+// ε fraction of the nodes and clusters the rest into non-adjacent clusters,
+// each augmented with a Steiner tree in the host graph such that
+//
+//   - every cluster member is a tree node (relays may be non-members or even
+//     dead nodes, which is exactly why the diameter guarantee is weak);
+//   - the tree depth is R(n,ε) = O(log³ n / ε);
+//   - each edge belongs to at most L(n,ε) = b = ⌈log₂ n⌉ trees.
+//
+// The algorithm runs in b phases, one per identifier bit. In phase i, a
+// cluster is red if bit i of its label is 1 and blue otherwise. Each step,
+// every live blue node adjacent to a live, non-retired red cluster proposes
+// to its smallest-label candidate through its smallest-id neighbor in that
+// cluster. A red cluster that would grow by at least δ·|C| (δ = ε/(2b))
+// accepts all proposers — they adopt its label and attach to its Steiner
+// tree through the proposal edge — and otherwise it retires for the phase
+// and its proposers die. The classic invariant makes this correct: a node
+// only ever joins an *adjacent* cluster, and adjacent live nodes agree on
+// all previously processed label bits, so processed bits never regress.
+package rg
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/rounds"
+)
+
+// Params reports the theoretical guarantees of Carve for a given n and ε,
+// with explicit constants matching the implementation. Theorem 2.1 consumes
+// these bounds when sizing its BFS windows.
+type Params struct {
+	Bits       int // b: number of label bits (phases)
+	Delta      float64
+	MaxDepth   int // R(n, ε) bound on Steiner tree depth
+	Congestion int // L(n, ε) bound on per-edge tree count
+}
+
+// ParamsFor computes the parameter bounds for an n-node run with boundary ε.
+func ParamsFor(n int, eps float64) Params {
+	b := labelBits(n)
+	delta := eps / (2 * float64(b))
+	// A cluster grows for at most log_{1+δ}(n) accepting steps per phase and
+	// can grow in every phase; each accepting step deepens its tree by at
+	// most one hop.
+	perPhase := growthSteps(n, delta)
+	return Params{
+		Bits:       b,
+		Delta:      delta,
+		MaxDepth:   b * perPhase,
+		Congestion: b,
+	}
+}
+
+// Carve runs the deterministic weak-diameter ball carving on the subgraph
+// induced by nodes (nil means all of g), with boundary parameter
+// eps ∈ (0, 1]. The returned carving assigns cluster ids to surviving nodes
+// of the subgraph and leaves every other node Unclustered.
+func Carve(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("rg: eps %v outside (0, 1]", eps)
+	}
+	n := g.N()
+	if nodes == nil {
+		nodes = make([]int, n)
+		for v := range nodes {
+			nodes[v] = v
+		}
+	}
+	st := newState(g, nodes, eps)
+	for phase := 0; phase < st.b; phase++ {
+		st.runPhase(phase, m)
+	}
+	return st.carving(), nil
+}
+
+type proposal struct {
+	node int
+	via  int
+}
+
+type clusterInfo struct {
+	label    int
+	size     int // live members
+	tree     *cluster.Tree
+	depth    map[int]int
+	maxDepth int
+	retired  bool
+}
+
+type state struct {
+	g     *graph.Graph
+	b     int
+	delta float64
+
+	inS      []bool
+	alive    []bool
+	label    []int // current cluster label, -1 for dead / outside S
+	clusters map[int]*clusterInfo
+
+	activeBlue []int  // candidate proposers, maintained incrementally
+	inActive   []bool // membership mask for activeBlue
+}
+
+func newState(g *graph.Graph, nodes []int, eps float64) *state {
+	n := g.N()
+	st := &state{
+		g:        g,
+		b:        labelBits(n),
+		delta:    eps / (2 * float64(labelBits(n))),
+		inS:      make([]bool, n),
+		alive:    make([]bool, n),
+		label:    make([]int, n),
+		clusters: make(map[int]*clusterInfo, len(nodes)),
+		inActive: make([]bool, n),
+	}
+	for v := range st.label {
+		st.label[v] = -1
+	}
+	for _, v := range nodes {
+		st.inS[v] = true
+		st.alive[v] = true
+		st.label[v] = v
+		st.clusters[v] = &clusterInfo{
+			label: v,
+			size:  1,
+			tree:  cluster.NewTree(v),
+			depth: map[int]int{v: 0},
+		}
+	}
+	return st
+}
+
+func bit(x, i int) int { return (x >> i) & 1 }
+
+func labelBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// growthSteps returns the maximum number of accepting steps a cluster can
+// have within one phase: growing by a factor (1+δ) from size 1 cannot exceed
+// n members.
+func growthSteps(n int, delta float64) int {
+	steps := 1
+	size := 1.0
+	for size < float64(n) {
+		size *= 1 + delta
+		size += 1 // acceptance adds at least one node even for tiny clusters
+		steps++
+		if steps > 64*1024*1024 {
+			break // defensive; unreachable for sane (n, δ)
+		}
+	}
+	return steps
+}
+
+// runPhase executes one bit phase to quiescence.
+func (st *state) runPhase(phase int, m *rounds.Meter) {
+	for _, c := range st.clusters {
+		c.retired = false
+	}
+	st.seedActiveBlue(phase)
+
+	for {
+		proposals := st.collectProposals(phase)
+		if len(proposals) == 0 {
+			break
+		}
+		m.Charge("rg/propose", 2)
+		st.resolveProposals(phase, proposals, m)
+	}
+	// Once per phase: pipelined tree maintenance over congested edges.
+	depth := 0
+	for _, c := range st.clusters {
+		if c.maxDepth > depth {
+			depth = c.maxDepth
+		}
+	}
+	m.Charge("rg/congestion", int64(depth+1)*int64(phase+1))
+}
+
+// seedActiveBlue initializes the proposer candidate set for a phase: every
+// live blue node with at least one live red neighbor.
+func (st *state) seedActiveBlue(phase int) {
+	st.activeBlue = st.activeBlue[:0]
+	for v := range st.inActive {
+		st.inActive[v] = false
+	}
+	for v, ok := range st.alive {
+		if !ok || bit(st.label[v], phase) != 0 {
+			continue
+		}
+		for _, u := range st.g.Neighbors(v) {
+			if st.alive[u] && bit(st.label[u], phase) == 1 {
+				st.addActive(v)
+				break
+			}
+		}
+	}
+}
+
+func (st *state) addActive(v int) {
+	if !st.inActive[v] {
+		st.inActive[v] = true
+		st.activeBlue = append(st.activeBlue, v)
+	}
+}
+
+// collectProposals computes this step's proposals in deterministic order:
+// every live blue candidate proposes to the smallest-label non-retired red
+// cluster among its neighbors, through its smallest-id member neighbor.
+func (st *state) collectProposals(phase int) map[int][]proposal {
+	sort.Ints(st.activeBlue)
+	kept := st.activeBlue[:0]
+	proposals := make(map[int][]proposal)
+	for _, v := range st.activeBlue {
+		if !st.alive[v] || bit(st.label[v], phase) != 0 {
+			st.inActive[v] = false // joined a red cluster or died
+			continue
+		}
+		bestLabel, bestVia, anyRed := -1, -1, false
+		for _, u := range st.g.Neighbors(v) {
+			if !st.alive[u] || bit(st.label[u], phase) != 1 {
+				continue
+			}
+			anyRed = true
+			lu := st.label[u]
+			if st.clusters[lu].retired {
+				continue
+			}
+			if bestLabel == -1 || lu < bestLabel || (lu == bestLabel && u < bestVia) {
+				bestLabel, bestVia = lu, u
+			}
+		}
+		if bestLabel >= 0 {
+			proposals[bestLabel] = append(proposals[bestLabel], proposal{node: v, via: bestVia})
+			kept = append(kept, v)
+		} else if anyRed {
+			// All adjacent red clusters are retired; the node can never be
+			// asked again this phase unless a neighbor joins a live red
+			// cluster, which re-adds it.
+			st.inActive[v] = false
+		} else {
+			st.inActive[v] = false
+		}
+	}
+	st.activeBlue = kept
+	return proposals
+}
+
+// resolveProposals applies accept/retire decisions for one step.
+func (st *state) resolveProposals(phase int, proposals map[int][]proposal, m *rounds.Meter) {
+	labels := make([]int, 0, len(proposals))
+	maxDepth := 0
+	for l := range proposals {
+		labels = append(labels, l)
+		if d := st.clusters[l].maxDepth; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	sort.Ints(labels)
+	m.Charge("rg/aggregate", 2*int64(maxDepth+1))
+	m.ChargeMessages(int64(len(proposals)))
+
+	for _, l := range labels {
+		x := st.clusters[l]
+		ps := proposals[l]
+		if float64(len(ps)) >= st.delta*float64(x.size) {
+			st.accept(x, ps)
+		} else {
+			x.retired = true
+			for _, p := range ps {
+				if st.label[p.node] != l && st.alive[p.node] && bit(st.label[p.node], phase) == 0 {
+					st.kill(p.node)
+				}
+			}
+		}
+	}
+}
+
+func (st *state) accept(x *clusterInfo, ps []proposal) {
+	for _, p := range ps {
+		v := p.node
+		if !st.alive[v] || st.label[v] == x.label {
+			continue // resolved earlier in this step by a smaller-label cluster
+		}
+		old := st.clusters[st.label[v]]
+		old.size--
+		st.label[v] = x.label
+		x.size++
+		// The via node is a live member of x, hence already in x's tree.
+		if err := x.tree.Add(v, p.via); err != nil {
+			// Cannot happen by the membership invariant; fail loudly in
+			// tests rather than corrupting the tree.
+			panic(fmt.Sprintf("rg: tree invariant broken: %v", err))
+		}
+		if d, ok := x.depth[v]; !ok || d > x.depth[p.via]+1 {
+			x.depth[v] = x.depth[p.via] + 1
+		}
+		if x.depth[v] > x.maxDepth {
+			x.maxDepth = x.depth[v]
+		}
+		// Blue neighbors of the newly red node become candidates.
+		for _, w := range st.g.Neighbors(v) {
+			if st.alive[w] {
+				st.addActive(w)
+			}
+		}
+	}
+}
+
+func (st *state) kill(v int) {
+	st.clusters[st.label[v]].size--
+	st.alive[v] = false
+	st.label[v] = -1
+}
+
+// carving materializes the final clusters in deterministic label order.
+func (st *state) carving() *cluster.Carving {
+	assign := make([]int, st.g.N())
+	for v := range assign {
+		assign[v] = cluster.Unclustered
+	}
+	labels := make([]int, 0, len(st.clusters))
+	for l, c := range st.clusters {
+		if c.size > 0 {
+			labels = append(labels, l)
+		}
+	}
+	sort.Ints(labels)
+	id := make(map[int]int, len(labels))
+	centers := make([]int, len(labels))
+	trees := make([]*cluster.Tree, len(labels))
+	for i, l := range labels {
+		id[l] = i
+		centers[i] = st.clusters[l].tree.Root
+		trees[i] = st.clusters[l].tree
+	}
+	for v, ok := range st.alive {
+		if ok {
+			assign[v] = id[st.label[v]]
+		}
+	}
+	return &cluster.Carving{Assign: assign, K: len(labels), Centers: centers, Trees: trees}
+}

@@ -1,0 +1,150 @@
+// Package rounds provides the distributed cost model used by the graph-level
+// implementations of the paper's algorithms.
+//
+// Algorithms in this repository execute at graph level (for laptop-scale
+// speed) but charge every distributed step to a Meter with the number of
+// CONGEST rounds the step's message-passing implementation uses. The charge
+// schedule for each primitive is validated against real executions on the
+// message-passing engine in internal/congest (experiment E8 in DESIGN.md).
+//
+// A nil *Meter is valid and ignores all charges, so metering is optional for
+// callers that only want the combinatorial output.
+package rounds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Meter accumulates simulated CONGEST round and message costs, broken down
+// into named components so experiments can reproduce the per-term round
+// complexity expressions of the paper (e.g. the three terms of Theorem 2.1).
+type Meter struct {
+	rounds     int64
+	messages   int64
+	components map[string]int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{components: make(map[string]int64)}
+}
+
+// Charge adds r rounds under the given component label. Negative charges are
+// ignored; charging a nil meter is a no-op.
+func (m *Meter) Charge(component string, r int64) {
+	if m == nil || r <= 0 {
+		return
+	}
+	m.rounds += r
+	m.components[component] += r
+}
+
+// ChargeParallel adds the maximum of rs under the given label. It models
+// independent executions that run simultaneously in disjoint parts of the
+// network (e.g. per-component recursions): parallel branches cost the
+// slowest branch, not the sum.
+func (m *Meter) ChargeParallel(component string, rs ...int64) {
+	if m == nil {
+		return
+	}
+	var max int64
+	for _, r := range rs {
+		if r > max {
+			max = r
+		}
+	}
+	m.Charge(component, max)
+}
+
+// ChargeMessages adds k messages to the message counter.
+func (m *Meter) ChargeMessages(k int64) {
+	if m == nil || k <= 0 {
+		return
+	}
+	m.messages += k
+}
+
+// Rounds returns the total charged rounds.
+func (m *Meter) Rounds() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rounds
+}
+
+// Messages returns the total charged messages.
+func (m *Meter) Messages() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.messages
+}
+
+// Component returns the rounds charged under a specific label.
+func (m *Meter) Component(label string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.components[label]
+}
+
+// Components returns a copy of the per-label round breakdown.
+func (m *Meter) Components() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m.components))
+	for k, v := range m.components {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds all of other's charges into m sequentially (rounds add up).
+func (m *Meter) Merge(other *Meter) {
+	if m == nil || other == nil {
+		return
+	}
+	m.rounds += other.rounds
+	m.messages += other.messages
+	for k, v := range other.components {
+		m.components[k] += v
+	}
+}
+
+// MergeParallel folds other into m as a parallel branch: component-wise and
+// total rounds become the maximum of the two meters, messages add up.
+func (m *Meter) MergeParallel(other *Meter) {
+	if m == nil || other == nil {
+		return
+	}
+	if other.rounds > m.rounds {
+		m.rounds = other.rounds
+	}
+	m.messages += other.messages
+	for k, v := range other.components {
+		if v > m.components[k] {
+			m.components[k] = v
+		}
+	}
+}
+
+// String renders the meter as a single human-readable line.
+func (m *Meter) String() string {
+	if m == nil {
+		return "rounds=0"
+	}
+	labels := make([]string, 0, len(m.components))
+	for k := range m.components {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d messages=%d", m.rounds, m.messages)
+	for _, k := range labels {
+		fmt.Fprintf(&b, " %s=%d", k, m.components[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package rounds
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Charge("x", 10)
+	m.ChargeParallel("y", 1, 2, 3)
+	m.ChargeMessages(5)
+	m.Merge(NewMeter())
+	m.MergeParallel(NewMeter())
+	if m.Rounds() != 0 || m.Messages() != 0 || m.Component("x") != 0 {
+		t.Fatalf("nil meter accumulated state")
+	}
+	if m.Components() != nil {
+		t.Fatalf("nil meter returned components")
+	}
+	if got := m.String(); got != "rounds=0" {
+		t.Fatalf("nil meter String = %q", got)
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.Charge("bfs", 5)
+	m.Charge("bfs", 7)
+	m.Charge("agg", 3)
+	if got := m.Rounds(); got != 15 {
+		t.Fatalf("Rounds = %d, want 15", got)
+	}
+	if got := m.Component("bfs"); got != 12 {
+		t.Fatalf("Component(bfs) = %d, want 12", got)
+	}
+	if got := m.Component("agg"); got != 3 {
+		t.Fatalf("Component(agg) = %d, want 3", got)
+	}
+	if got := m.Component("missing"); got != 0 {
+		t.Fatalf("Component(missing) = %d, want 0", got)
+	}
+}
+
+func TestNegativeAndZeroChargesIgnored(t *testing.T) {
+	m := NewMeter()
+	m.Charge("x", 0)
+	m.Charge("x", -5)
+	m.ChargeMessages(-1)
+	if m.Rounds() != 0 || m.Messages() != 0 {
+		t.Fatalf("negative/zero charges counted: %s", m)
+	}
+}
+
+func TestChargeParallelTakesMax(t *testing.T) {
+	m := NewMeter()
+	m.ChargeParallel("comp", 3, 9, 5)
+	if got := m.Rounds(); got != 9 {
+		t.Fatalf("Rounds = %d, want 9", got)
+	}
+	m.ChargeParallel("comp") // no branches: no charge
+	if got := m.Rounds(); got != 9 {
+		t.Fatalf("Rounds after empty parallel = %d, want 9", got)
+	}
+}
+
+func TestMergeSequential(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Charge("x", 4)
+	a.ChargeMessages(10)
+	b.Charge("x", 6)
+	b.Charge("y", 1)
+	b.ChargeMessages(5)
+	a.Merge(b)
+	if a.Rounds() != 11 || a.Messages() != 15 {
+		t.Fatalf("merged meter %s", a)
+	}
+	if a.Component("x") != 10 || a.Component("y") != 1 {
+		t.Fatalf("merged components %v", a.Components())
+	}
+}
+
+func TestMergeParallel(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Charge("x", 4)
+	b.Charge("x", 9)
+	b.Charge("y", 2)
+	a.ChargeMessages(3)
+	b.ChargeMessages(4)
+	a.MergeParallel(b)
+	// b charged 9 + 2 = 11 rounds in total; the parallel fold takes the
+	// slower branch.
+	if a.Rounds() != 11 {
+		t.Fatalf("parallel rounds = %d, want 11", a.Rounds())
+	}
+	if a.Messages() != 7 {
+		t.Fatalf("parallel messages = %d, want 7 (messages add up)", a.Messages())
+	}
+	if a.Component("x") != 9 || a.Component("y") != 2 {
+		t.Fatalf("parallel components %v", a.Components())
+	}
+}
+
+func TestComponentsReturnsCopy(t *testing.T) {
+	m := NewMeter()
+	m.Charge("x", 1)
+	c := m.Components()
+	c["x"] = 999
+	if m.Component("x") != 1 {
+		t.Fatalf("Components leaked internal map")
+	}
+}
+
+func TestStringListsComponentsSorted(t *testing.T) {
+	m := NewMeter()
+	m.Charge("zeta", 1)
+	m.Charge("alpha", 2)
+	s := m.String()
+	if !strings.Contains(s, "alpha=2") || !strings.Contains(s, "zeta=1") {
+		t.Fatalf("String missing components: %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatalf("String components unsorted: %q", s)
+	}
+}
+
+func TestPropertyMergeMatchesSumOfCharges(t *testing.T) {
+	f := func(charges []uint16) bool {
+		a, b := NewMeter(), NewMeter()
+		var want int64
+		for i, c := range charges {
+			r := int64(c%1000) + 1
+			want += r
+			if i%2 == 0 {
+				a.Charge("even", r)
+			} else {
+				b.Charge("odd", r)
+			}
+		}
+		a.Merge(b)
+		return a.Rounds() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyParallelMergeIsMonotone(t *testing.T) {
+	f := func(x, y uint16) bool {
+		a, b := NewMeter(), NewMeter()
+		a.Charge("c", int64(x)+1)
+		b.Charge("c", int64(y)+1)
+		before := a.Rounds()
+		a.MergeParallel(b)
+		return a.Rounds() >= before && a.Rounds() >= b.Rounds()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

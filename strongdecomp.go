@@ -1,0 +1,255 @@
+// Package strongdecomp is a Go implementation of "Strong-Diameter Network
+// Decomposition" (Chang and Ghaffari, PODC 2021): deterministic
+// CONGEST-model algorithms that partition a graph into O(log n) color
+// classes of non-adjacent, low-diameter clusters, built from a novel
+// transformation of weak-diameter ball carvings into strong-diameter ones.
+//
+// The package exposes two top-level operations:
+//
+//   - BallCarve removes at most an ε fraction of nodes and clusters the rest
+//     into non-adjacent clusters of small strong (induced) diameter
+//     (Theorems 2.2 and 3.3 of the paper);
+//   - Decompose partitions all nodes into colored clusters such that
+//     same-color clusters are non-adjacent (Theorems 2.3 and 3.4).
+//
+// Both default to the paper's deterministic algorithms and can be switched
+// to the classical randomized or sequential baselines via options, which is
+// what the benchmark harness uses to regenerate the paper's comparison
+// tables. See DESIGN.md and EXPERIMENTS.md for the experiment index.
+//
+// A minimal example:
+//
+//	g, _ := strongdecomp.NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+//	d, _ := strongdecomp.Decompose(g)
+//	for v := 0; v < 4; v++ {
+//		fmt.Println(v, d.Assign[v], d.NodeColor(v))
+//	}
+package strongdecomp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/core"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/ls"
+	"strongdecomp/internal/mpx"
+	"strongdecomp/internal/rounds"
+	"strongdecomp/internal/seqcarve"
+)
+
+// Re-exported result and bookkeeping types. Graph values are constructed
+// through this package's constructors and generators.
+type (
+	// Graph is an immutable simple undirected graph on nodes 0..N()-1.
+	Graph = graph.Graph
+	// Carving is a ball-carving result: Assign maps nodes to clusters,
+	// with Unclustered for removed nodes.
+	Carving = cluster.Carving
+	// Decomposition is a colored clustering of all nodes.
+	Decomposition = cluster.Decomposition
+	// Meter accumulates simulated CONGEST round costs.
+	Meter = rounds.Meter
+)
+
+// Unclustered marks removed nodes in a Carving's Assign slice.
+const Unclustered = cluster.Unclustered
+
+// Algorithm selects which construction BallCarve and Decompose run.
+type Algorithm int
+
+const (
+	// ChangGhaffari is the paper's deterministic construction
+	// (Theorem 2.2 / 2.3): strong diameter O(log³ n / ε).
+	ChangGhaffari Algorithm = iota + 1
+	// ChangGhaffariImproved adds the Section 3 diameter improvement
+	// (Theorem 3.3 / 3.4): strong diameter O(log² n / ε).
+	ChangGhaffariImproved
+	// MPX is the randomized strong-diameter construction of
+	// Miller–Peng–Xu / Elkin–Neiman: diameter O(log n / ε).
+	MPX
+	// LinialSaks is the randomized weak-diameter construction; its
+	// clusters may induce disconnected subgraphs.
+	LinialSaks
+	// Sequential is the global one-ball-at-a-time deterministic baseline.
+	Sequential
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case ChangGhaffari:
+		return "chang-ghaffari"
+	case ChangGhaffariImproved:
+		return "chang-ghaffari-improved"
+	case MPX:
+		return "mpx"
+	case LinialSaks:
+		return "linial-saks"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+type options struct {
+	algo  Algorithm
+	seed  int64
+	meter *rounds.Meter
+	nodes []int
+}
+
+// Option configures BallCarve and Decompose.
+type Option interface {
+	apply(*options)
+}
+
+type algoOption Algorithm
+
+func (a algoOption) apply(o *options) { o.algo = Algorithm(a) }
+
+// WithAlgorithm selects the construction (default ChangGhaffari).
+func WithAlgorithm(a Algorithm) Option { return algoOption(a) }
+
+type seedOption int64
+
+func (s seedOption) apply(o *options) { o.seed = int64(s) }
+
+// WithSeed sets the seed for the randomized algorithms (default 1).
+func WithSeed(seed int64) Option { return seedOption(seed) }
+
+type meterOption struct{ m *rounds.Meter }
+
+func (m meterOption) apply(o *options) { o.meter = m.m }
+
+// WithMeter attaches a round meter that accumulates the simulated CONGEST
+// cost of the run.
+func WithMeter(m *Meter) Option { return meterOption{m: m} }
+
+type nodesOption []int
+
+func (ns nodesOption) apply(o *options) { o.nodes = ns }
+
+// WithNodes restricts BallCarve to the subgraph induced by the given nodes.
+func WithNodes(nodes []int) Option { return nodesOption(nodes) }
+
+func buildOptions(opts []Option) options {
+	o := options{algo: ChangGhaffari, seed: 1}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+// NewMeter returns an empty round meter for use with WithMeter.
+func NewMeter() *Meter { return rounds.NewMeter() }
+
+// NewGraph builds a graph with n nodes from an edge list.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// BallCarve computes a ball carving of g with boundary parameter eps: at
+// most an eps fraction of nodes are removed (Assign == Unclustered) and the
+// remaining clusters are pairwise non-adjacent with small diameter. The
+// default algorithm is the paper's deterministic Theorem 2.2 construction.
+func BallCarve(g *Graph, eps float64, opts ...Option) (*Carving, error) {
+	o := buildOptions(opts)
+	switch o.algo {
+	case ChangGhaffari:
+		return core.CarveRG(g, o.nodes, eps, o.meter)
+	case ChangGhaffariImproved:
+		return core.CarveImproved(g, o.nodes, eps, o.meter)
+	case MPX:
+		return mpx.Carve(g, o.nodes, eps, rand.New(rand.NewSource(o.seed)), o.meter)
+	case LinialSaks:
+		return ls.Carve(g, o.nodes, eps, rand.New(rand.NewSource(o.seed)), o.meter)
+	case Sequential:
+		return seqcarve.Carve(g, o.nodes, o.meter), nil
+	default:
+		return nil, fmt.Errorf("strongdecomp: unknown algorithm %v", o.algo)
+	}
+}
+
+// Decompose computes a network decomposition of g: every node is assigned
+// to a cluster, clusters are colored, and same-color clusters are
+// non-adjacent. The default is the paper's deterministic Theorem 2.3
+// construction with O(log n) colors and strong-diameter clusters.
+func Decompose(g *Graph, opts ...Option) (*Decomposition, error) {
+	o := buildOptions(opts)
+	switch o.algo {
+	case ChangGhaffari:
+		return core.DecomposeRG(g, o.meter)
+	case ChangGhaffariImproved:
+		return core.DecomposeImproved(g, o.meter)
+	case MPX:
+		return mpx.Decompose(g, rand.New(rand.NewSource(o.seed)), o.meter)
+	case LinialSaks:
+		return ls.Decompose(g, rand.New(rand.NewSource(o.seed)), o.meter)
+	case Sequential:
+		return seqcarve.Decompose(g, o.meter), nil
+	default:
+		return nil, fmt.Errorf("strongdecomp: unknown algorithm %v", o.algo)
+	}
+}
+
+// VerifyCarving checks the defining properties of a ball carving: dead
+// fraction at most eps, cluster non-adjacency, and (when maxDiam >= 0)
+// connected clusters of induced diameter at most maxDiam.
+func VerifyCarving(g *Graph, c *Carving, eps float64, maxDiam int) error {
+	return cluster.CheckCarving(g, nil, c, eps, maxDiam)
+}
+
+// VerifyDecomposition checks a decomposition: total assignment, same-color
+// non-adjacency, and (when maxDiam >= 0) the diameter bound, measured in the
+// induced subgraph when strong is true and in the host graph otherwise.
+func VerifyDecomposition(g *Graph, d *Decomposition, maxDiam int, strong bool) error {
+	return cluster.CheckDecomposition(g, d, maxDiam, strong)
+}
+
+// MaxStrongDiameter returns the maximum induced diameter over the clusters
+// of a carving or decomposition member list, or -1 if a cluster induces a
+// disconnected subgraph.
+func MaxStrongDiameter(g *Graph, members [][]int) int {
+	return cluster.MaxStrongDiameter(g, members)
+}
+
+// MaxWeakDiameter is MaxStrongDiameter with distances measured in the host
+// graph (the weak-diameter notion).
+func MaxWeakDiameter(g *Graph, members [][]int) int {
+	return cluster.MaxWeakDiameter(g, members)
+}
+
+// Generators for the synthetic graph families used by the paper's
+// experiments. Random generators are deterministic in their seed.
+var (
+	// PathGraph returns the n-node path.
+	PathGraph = graph.Path
+	// CycleGraph returns the n-node cycle.
+	CycleGraph = graph.Cycle
+	// CompleteGraph returns K_n.
+	CompleteGraph = graph.Complete
+	// StarGraph returns the n-node star.
+	StarGraph = graph.Star
+	// GridGraph returns the rows x cols grid.
+	GridGraph = graph.Grid
+	// TorusGraph returns the rows x cols torus.
+	TorusGraph = graph.Torus
+	// HypercubeGraph returns the dim-dimensional hypercube.
+	HypercubeGraph = graph.Hypercube
+	// BinaryTreeGraph returns the n-node binary tree.
+	BinaryTreeGraph = graph.BinaryTree
+	// RandomTreeGraph returns a random recursive tree.
+	RandomTreeGraph = graph.RandomTree
+	// GnpGraph returns an Erdős–Rényi G(n, p) graph.
+	GnpGraph = graph.Gnp
+	// ConnectedGnpGraph returns G(n, p) plus a random Hamiltonian path.
+	ConnectedGnpGraph = graph.ConnectedGnp
+	// ExpanderGraph returns a random near-d-regular expander.
+	ExpanderGraph = graph.RandomRegularish
+	// SubdividedExpanderGraph returns the Section 3 barrier construction.
+	SubdividedExpanderGraph = graph.SubdividedExpander
+	// ClusterGraphGen returns k dense clusters bridged in a ring.
+	ClusterGraphGen = graph.ClusterGraph
+)
