@@ -2,16 +2,22 @@
 // graph and emits the result as JSON (graph, assignment, colors, stats),
 // suitable for piping into cmd/verify.
 //
+// The -algo flag accepts any name in the algorithm registry (see
+// -list-algos); -timeout bounds the run via context cancellation.
+//
 // Usage:
 //
-//	decompose -gen gnp -n 1024 -algo chang-ghaffari [-carve] [-eps 0.5] [-seed 1]
+//	decompose -gen gnp -n 1024 -algo chang-ghaffari [-carve] [-eps 0.5] [-seed 1] [-timeout 30s]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"strongdecomp"
 )
@@ -23,6 +29,7 @@ type Result struct {
 	Mode   string   `json:"mode"` // "carve" or "decompose"
 	Eps    float64  `json:"eps,omitempty"`
 	Algo   string   `json:"algo"`
+	Seed   int64    `json:"seed"`
 	Assign []int    `json:"assign"`
 	Color  []int    `json:"color,omitempty"`
 	K      int      `json:"k"`
@@ -39,45 +46,68 @@ func main() {
 
 func run() error {
 	var (
-		gen   = flag.String("gen", "gnp", "graph family: gnp|grid|path|tree|expander|subdivided|clusters|torus|hypercube")
-		n     = flag.Int("n", 1024, "approximate node count")
-		algo  = flag.String("algo", "chang-ghaffari", "algorithm: chang-ghaffari|chang-ghaffari-improved|mpx|linial-saks|sequential")
-		carve = flag.Bool("carve", false, "run a ball carving instead of a full decomposition")
-		eps   = flag.Float64("eps", 0.5, "carving boundary parameter")
-		seed  = flag.Int64("seed", 1, "generator / algorithm seed")
+		gen       = flag.String("gen", "gnp", "graph family: gnp|grid|path|tree|expander|subdivided|clusters|torus|hypercube")
+		n         = flag.Int("n", 1024, "approximate node count")
+		algo      = flag.String("algo", "chang-ghaffari", "registered algorithm: "+strings.Join(strongdecomp.Algorithms(), "|"))
+		carve     = flag.Bool("carve", false, "run a ball carving instead of a full decomposition")
+		eps       = flag.Float64("eps", 0.5, "carving boundary parameter")
+		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
+		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()
+
+	if *listAlgos {
+		return printAlgorithms(os.Stdout)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := makeGraph(*gen, *n, *seed)
 	if err != nil {
 		return err
 	}
-	a, err := parseAlgo(*algo)
+	d, err := strongdecomp.Lookup(*algo)
 	if err != nil {
 		return err
 	}
 	meter := strongdecomp.NewMeter()
-	res := Result{N: g.N(), Edges: g.Edges(), Algo: a.String(), Rounds: 0}
+	opts := &strongdecomp.RunOptions{Seed: *seed, Meter: meter}
+	res := Result{N: g.N(), Edges: g.Edges(), Algo: d.Info().Name, Seed: *seed}
 
 	if *carve {
-		c, err := strongdecomp.BallCarve(g, *eps,
-			strongdecomp.WithAlgorithm(a), strongdecomp.WithSeed(*seed), strongdecomp.WithMeter(meter))
+		c, err := d.Carve(ctx, g, *eps, opts)
 		if err != nil {
 			return err
 		}
 		res.Mode, res.Eps = "carve", *eps
 		res.Assign, res.K = c.Assign, c.K
 	} else {
-		d, err := strongdecomp.Decompose(g,
-			strongdecomp.WithAlgorithm(a), strongdecomp.WithSeed(*seed), strongdecomp.WithMeter(meter))
+		dec, err := d.Decompose(ctx, g, opts)
 		if err != nil {
 			return err
 		}
 		res.Mode = "decompose"
-		res.Assign, res.Color, res.K, res.Colors = d.Assign, d.Color, d.K, d.Colors
+		res.Assign, res.Color, res.K, res.Colors = dec.Assign, dec.Color, dec.K, dec.Colors
 	}
 	res.Rounds = meter.Rounds()
 	return json.NewEncoder(os.Stdout).Encode(res)
+}
+
+// printAlgorithms renders the registry as a table: name, model, diameter
+// notion, and paper citation.
+func printAlgorithms(out *os.File) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\tmodel\tdiameter\treference")
+	for _, info := range strongdecomp.AlgorithmInfos() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", info.Name, info.Model, info.Diameter, info.Reference)
+	}
+	return w.Flush()
 }
 
 func makeGraph(gen string, n int, seed int64) (*strongdecomp.Graph, error) {
@@ -115,19 +145,4 @@ func makeGraph(gen string, n int, seed int64) (*strongdecomp.Graph, error) {
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", gen)
 	}
-}
-
-func parseAlgo(s string) (strongdecomp.Algorithm, error) {
-	for _, a := range []strongdecomp.Algorithm{
-		strongdecomp.ChangGhaffari,
-		strongdecomp.ChangGhaffariImproved,
-		strongdecomp.MPX,
-		strongdecomp.LinialSaks,
-		strongdecomp.Sequential,
-	} {
-		if a.String() == s {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
 }

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
+	"strongdecomp"
 	"strongdecomp/internal/bench"
 )
 
@@ -27,20 +29,35 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 1024, "workload size for the tables")
-		family  = flag.String("family", "cycle", "workload family: cycle|path|gnp|grid|subdivided")
-		eps     = flag.Float64("eps", 0.5, "boundary parameter for Table 2")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		scaling = flag.Bool("scaling", false, "also run the n-sweep scaling figures (slower)")
-		asJSON  = flag.Bool("json", false, "emit JSON instead of text tables")
+		n         = flag.Int("n", 1024, "workload size for the tables")
+		family    = flag.String("family", "cycle", "workload family: cycle|path|gnp|grid|subdivided")
+		eps       = flag.Float64("eps", 0.5, "boundary parameter for Table 2")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		scaling   = flag.Bool("scaling", false, "also run the n-sweep scaling figures (slower)")
+		asJSON    = flag.Bool("json", false, "emit JSON instead of text tables")
+		algos     = flag.String("algos", "", "comma-separated registry names to restrict Tables 1/2 and scaling to (default: all registered)")
+		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()
 
-	t1, err := bench.Table1(*family, *n, *seed)
+	if *listAlgos {
+		fmt.Println(strings.Join(strongdecomp.Algorithms(), "\n"))
+		return nil
+	}
+	var only []string
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				only = append(only, name)
+			}
+		}
+	}
+
+	t1, err := bench.Table1(*family, *n, *seed, only...)
 	if err != nil {
 		return err
 	}
-	t2, err := bench.Table2(*family, *n, *eps, *seed)
+	t2, err := bench.Table2(*family, *n, *eps, *seed, only...)
 	if err != nil {
 		return err
 	}
@@ -67,7 +84,7 @@ func run() error {
 
 	var scalingPts []bench.ScalingPoint
 	if *scaling {
-		scalingPts, err = bench.Scaling(*family, []int{256, 512, 1024, 2048, 4096}, *seed)
+		scalingPts, err = bench.Scaling(*family, []int{256, 512, 1024, 2048, 4096}, *seed, only...)
 		if err != nil {
 			return err
 		}

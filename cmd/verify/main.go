@@ -3,16 +3,23 @@
 // non-adjacency, diameter bounds, dead fraction) from the JSON document on
 // stdin and exits non-zero on any violation.
 //
+// With -rerun it additionally resolves the document's algorithm in the
+// registry and re-executes it with the recorded seed: every registered
+// construction is deterministic given its seed, so the reproduced
+// assignment must match the document exactly.
+//
 // Usage:
 //
-//	decompose -gen grid -n 400 | verify [-eps 0.5] [-max-diam -1]
+//	decompose -gen grid -n 400 | verify [-eps 0.5] [-max-diam -1] [-rerun]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"strongdecomp"
 	"strongdecomp/internal/cluster"
@@ -24,6 +31,7 @@ type document struct {
 	Mode   string   `json:"mode"`
 	Eps    float64  `json:"eps"`
 	Algo   string   `json:"algo"`
+	Seed   int64    `json:"seed"`
 	Assign []int    `json:"assign"`
 	Color  []int    `json:"color"`
 	K      int      `json:"k"`
@@ -40,10 +48,17 @@ func main() {
 
 func run() error {
 	var (
-		maxDiam = flag.Int("max-diam", -1, "optional strong-diameter bound to enforce (-1: skip)")
-		strong  = flag.Bool("strong", true, "measure diameters in the induced subgraph")
+		maxDiam   = flag.Int("max-diam", -1, "optional strong-diameter bound to enforce (-1: skip)")
+		strong    = flag.Bool("strong", true, "measure diameters in the induced subgraph")
+		rerun     = flag.Bool("rerun", false, "re-execute the document's registered algorithm with its seed and demand an identical result")
+		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()
+
+	if *listAlgos {
+		fmt.Println(strings.Join(strongdecomp.Algorithms(), "\n"))
+		return nil
+	}
 
 	var doc document
 	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
@@ -60,11 +75,59 @@ func run() error {
 		if eps == 0 {
 			eps = 1
 		}
-		return strongdecomp.VerifyCarving(g, c, eps, *maxDiam)
+		if err := strongdecomp.VerifyCarving(g, c, eps, *maxDiam); err != nil {
+			return err
+		}
 	case "decompose":
 		d := &cluster.Decomposition{Assign: doc.Assign, Color: doc.Color, K: doc.K, Colors: doc.Colors}
-		return strongdecomp.VerifyDecomposition(g, d, *maxDiam, *strong)
+		if err := strongdecomp.VerifyDecomposition(g, d, *maxDiam, *strong); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", doc.Mode)
 	}
+	if *rerun {
+		return rerunCheck(g, &doc)
+	}
+	return nil
+}
+
+// rerunCheck reproduces the document's run through the registry and demands
+// bit-identical assignments — the strongest cross-check available because
+// every registered construction is deterministic in its seed.
+func rerunCheck(g *strongdecomp.Graph, doc *document) error {
+	d, err := strongdecomp.Lookup(doc.Algo)
+	if err != nil {
+		return fmt.Errorf("rerun: %w", err)
+	}
+	opts := &strongdecomp.RunOptions{Seed: doc.Seed}
+	var got []int
+	switch doc.Mode {
+	case "carve":
+		eps := doc.Eps
+		if eps == 0 {
+			eps = 1 // same default the base verification applies
+		}
+		c, err := d.Carve(context.Background(), g, eps, opts)
+		if err != nil {
+			return fmt.Errorf("rerun: %w", err)
+		}
+		got = c.Assign
+	case "decompose":
+		dec, err := d.Decompose(context.Background(), g, opts)
+		if err != nil {
+			return fmt.Errorf("rerun: %w", err)
+		}
+		got = dec.Assign
+	}
+	if len(got) != len(doc.Assign) {
+		return fmt.Errorf("rerun: %d assignments, document has %d", len(got), len(doc.Assign))
+	}
+	for v := range got {
+		if got[v] != doc.Assign[v] {
+			return fmt.Errorf("rerun: node %d assigned %d, document says %d (algo %q, seed %d)",
+				v, got[v], doc.Assign[v], doc.Algo, doc.Seed)
+		}
+	}
+	return nil
 }

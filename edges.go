@@ -1,6 +1,8 @@
 package strongdecomp
 
 import (
+	"context"
+
 	"strongdecomp/internal/apps"
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/core"
@@ -17,8 +19,14 @@ type EdgeCarving = core.EdgeCarving
 // connected with bounded diameter in the remaining graph. Only the
 // deterministic Chang–Ghaffari construction is implemented for edges.
 func BallCarveEdges(g *Graph, eps float64, opts ...Option) (*EdgeCarving, error) {
+	return BallCarveEdgesContext(context.Background(), g, eps, opts...)
+}
+
+// BallCarveEdgesContext is BallCarveEdges with cancellation and deadline
+// support; a canceled run returns an error matching ErrCanceled.
+func BallCarveEdgesContext(ctx context.Context, g *Graph, eps float64, opts ...Option) (*EdgeCarving, error) {
 	o := buildOptions(opts)
-	return core.CarveEdgesRG(g, o.nodes, eps, o.meter)
+	return core.CarveEdgesRGContext(ctx, g, o.nodes, eps, o.meter)
 }
 
 // VerifyEdgeCarving checks the edge-carving contract: full assignment, cut

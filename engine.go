@@ -1,0 +1,339 @@
+package strongdecomp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
+	"strongdecomp/internal/rounds"
+)
+
+// Engine executes decompositions at scale: it owns a worker pool and a
+// sync.Pool of per-run scratch buffers, decomposes the connected components
+// of a graph concurrently, and batches runs over many graphs. All methods
+// honor context cancellation and deadlines (returning errors matching
+// ErrCanceled) and are safe for concurrent use from multiple goroutines —
+// one Engine is meant to be shared by a whole serving process.
+//
+// Per-component parallelism is sound for network decomposition: distinct
+// connected components are non-adjacent, so their decompositions are
+// independent and their color sets may overlap. In the distributed model
+// the components literally run simultaneously, which is why the attached
+// Meter folds component costs with MergeParallel (max) rather than
+// sequentially (sum).
+type Engine struct {
+	algo    string
+	workers int
+
+	scratch sync.Pool // *engineScratch
+
+	runs        atomic.Int64
+	inFlight    atomic.Int64
+	maxParallel atomic.Int64
+}
+
+// engineScratch holds the per-run buffers (BFS frontier and visited mask)
+// reused across runs through the Engine's sync.Pool.
+type engineScratch struct {
+	mask  []bool
+	queue []int
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the worker-pool size (default runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithEngineAlgorithm selects the registered construction the engine runs
+// (default the paper's "chang-ghaffari"). The name is resolved at run time,
+// so constructions registered after NewEngine are reachable too.
+func WithEngineAlgorithm(name string) EngineOption {
+	return func(e *Engine) { e.algo = name }
+}
+
+// NewEngine returns an engine running the given construction over a worker
+// pool.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{algo: ChangGhaffari.String(), workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	e.scratch.New = func() any { return &engineScratch{} }
+	return e
+}
+
+// Algorithm returns the registry name of the construction the engine runs.
+func (e *Engine) Algorithm() string { return e.algo }
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// EngineStats reports observed execution counters.
+type EngineStats struct {
+	// Runs counts construction invocations (per-component runs, whole-graph
+	// runs, and carvings) the engine has executed.
+	Runs int64
+	// MaxParallel is the highest number of unit tasks observed in flight
+	// simultaneously over the engine's lifetime.
+	MaxParallel int64
+}
+
+// Stats returns the engine's execution counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Runs: e.runs.Load(), MaxParallel: e.maxParallel.Load()}
+}
+
+// Carve runs the engine's construction as a ball carving. Like Decompose,
+// a multi-component graph (with no Nodes restriction) is carved per
+// component concurrently and merged: each component removes at most an eps
+// fraction of its own nodes, so the merged carving meets the bound too.
+func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOptions) (*Carving, error) {
+	d, err := Lookup(e.algo)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.Normalized()
+	var comps [][]int
+	if o.Nodes == nil {
+		comps = e.components(g)
+	}
+	if len(comps) <= 1 {
+		e.runs.Add(1)
+		return d.Carve(ctx, g, eps, &o)
+	}
+
+	pieces := make([]cluster.Piece, len(comps))
+	meters := make([]*rounds.Meter, len(comps))
+	err = e.runPool(ctx, len(comps), func(ctx context.Context, i int) error {
+		e.runs.Add(1)
+		sub, nodeOf := graph.InducedSubgraph(g, comps[i])
+		ro := o
+		ro.Seed = o.Seed + int64(i)
+		ro.Meter = rounds.NewMeter()
+		c, err := d.Carve(ctx, sub, eps, &ro)
+		if err != nil {
+			return fmt.Errorf("component %d: %w", i, err)
+		}
+		pieces[i] = cluster.Piece{C: c, NodeOf: nodeOf}
+		meters[i] = ro.Meter
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeParallelInto(o.Meter, meters)
+	return cluster.MergeCarvings(g.N(), pieces)
+}
+
+// Decompose decomposes g, running its connected components concurrently on
+// the worker pool and merging the per-component results. Component i runs
+// with seed opts.Seed + i, so results are deterministic regardless of
+// scheduling. The attached meter receives the parallel (max) fold of the
+// per-component costs.
+func (e *Engine) Decompose(ctx context.Context, g *Graph, opts *RunOptions) (*Decomposition, error) {
+	return e.decomposeGraph(ctx, g, opts, true)
+}
+
+// DecomposeBatch decomposes every graph of the batch on the worker pool and
+// returns the results in input order. Graph i runs with seed opts.Seed + i.
+// The first failure (including cancellation) cancels the remaining work.
+func (e *Engine) DecomposeBatch(ctx context.Context, gs []*Graph, opts *RunOptions) ([]*Decomposition, error) {
+	o := opts.Normalized()
+	out := make([]*Decomposition, len(gs))
+	meters := make([]*rounds.Meter, len(gs))
+	err := e.runPool(ctx, len(gs), func(ctx context.Context, i int) error {
+		ro := o
+		ro.Seed = o.Seed + int64(i)
+		ro.Meter = rounds.NewMeter()
+		// Components of one batch item run sequentially: batch-level
+		// parallelism already saturates the pool.
+		d, err := e.decomposeGraph(ctx, gs[i], &ro, false)
+		if err != nil {
+			return fmt.Errorf("graph %d: %w", i, err)
+		}
+		out[i] = d
+		meters[i] = ro.Meter
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mergeParallelInto(o.Meter, meters)
+	return out, nil
+}
+
+// mergeParallelInto folds the per-task meters as one parallel phase (max
+// across tasks) and then adds that phase sequentially into dst, so a meter
+// reused across runs keeps accumulating instead of being maxed against its
+// own history.
+func mergeParallelInto(dst *rounds.Meter, meters []*rounds.Meter) {
+	if dst == nil {
+		return
+	}
+	phase := rounds.NewMeter()
+	for _, m := range meters {
+		phase.MergeParallel(m)
+	}
+	dst.Merge(phase)
+}
+
+// decomposeGraph decomposes one graph, splitting it into connected
+// components and running them in parallel when parallel is set.
+func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions, parallel bool) (*Decomposition, error) {
+	d, err := Lookup(e.algo)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.Normalized()
+	comps := e.components(g)
+	if len(comps) <= 1 {
+		e.runs.Add(1)
+		return d.Decompose(ctx, g, &o)
+	}
+
+	pieces := make([]cluster.Piece, len(comps))
+	meters := make([]*rounds.Meter, len(comps))
+	runOne := func(ctx context.Context, i int) error {
+		e.runs.Add(1)
+		sub, nodeOf := graph.InducedSubgraph(g, comps[i])
+		ro := o
+		ro.Seed = o.Seed + int64(i)
+		ro.Nodes = nil
+		ro.Meter = rounds.NewMeter()
+		dec, err := d.Decompose(ctx, sub, &ro)
+		if err != nil {
+			return fmt.Errorf("component %d: %w", i, err)
+		}
+		pieces[i] = cluster.Piece{D: dec, NodeOf: nodeOf}
+		meters[i] = ro.Meter
+		return nil
+	}
+	if parallel {
+		err = e.runPool(ctx, len(comps), runOne)
+	} else {
+		for i := 0; err == nil && i < len(comps); i++ {
+			if err = registry.CtxErr(ctx); err == nil {
+				err = runOne(ctx, i)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	mergeParallelInto(o.Meter, meters)
+	return cluster.MergeDecompositions(g.N(), pieces)
+}
+
+// runPool executes fn(ctx, 0..n-1) on the engine's worker pool. The first
+// error cancels the remaining tasks and is returned; a canceled parent
+// context yields an error matching ErrCanceled.
+func (e *Engine) runPool(parent context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return registry.CtxErr(parent)
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cur := e.inFlight.Add(1)
+				for {
+					m := e.maxParallel.Load()
+					if cur <= m || e.maxParallel.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				err := fn(ctx, i)
+				e.inFlight.Add(-1)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return registry.CtxErr(parent)
+}
+
+// components returns the connected components of g using pooled scratch
+// buffers, so steady-state engine traffic does not reallocate BFS state.
+func (e *Engine) components(g *Graph) [][]int {
+	n := g.N()
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+	if cap(s.mask) < n {
+		s.mask = make([]bool, n)
+		s.queue = make([]int, 0, n)
+	}
+	seen := s.mask[:n]
+	for i := range seen {
+		seen[i] = false
+	}
+	var comps [][]int
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		// s.queue doubles as frontier and visit order; the visited prefix
+		// [0, head) never shrinks, so it ends up holding the component.
+		q := s.queue[:0]
+		q = append(q, v)
+		seen[v] = true
+		for head := 0; head < len(q); head++ {
+			for _, w := range g.Neighbors(q[head]) {
+				if !seen[w] {
+					seen[w] = true
+					q = append(q, w)
+				}
+			}
+		}
+		comp := make([]int, len(q))
+		copy(comp, q)
+		comps = append(comps, comp)
+		s.queue = q[:0] // retain grown capacity for the next run
+	}
+	return comps
+}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"strongdecomp"
 )
@@ -27,6 +29,12 @@ func main() {
 	}
 	torus := strongdecomp.TorusGraph(side, side)
 
+	// The barrier graph maximizes the improved carving's work, so bound the
+	// whole experiment with a deadline: a run that exceeds it returns an
+	// error matching strongdecomp.ErrCanceled instead of hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	for _, tc := range []struct {
 		name string
 		g    *strongdecomp.Graph
@@ -34,7 +42,7 @@ func main() {
 		{"subdivided expander (barrier)", barrier},
 		{"torus (benign)", torus},
 	} {
-		c, err := strongdecomp.BallCarve(tc.g, eps,
+		c, err := strongdecomp.BallCarveContext(ctx, tc.g, eps,
 			strongdecomp.WithAlgorithm(strongdecomp.ChangGhaffariImproved))
 		if err != nil {
 			log.Fatal(err)

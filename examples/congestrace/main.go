@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,9 @@ import (
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/congest"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
+
+	_ "strongdecomp/internal/mpx" // registers the "mpx" construction
 )
 
 func main() {
@@ -62,4 +66,21 @@ func main() {
 	fmt.Printf("clusters: %d, dead fraction %.3f, max strong diameter %d\n",
 		c.K, c.DeadFraction(nil), cluster.MaxStrongDiameter(g, c.Members()))
 	fmt.Println("message-level clustering verified: clusters non-adjacent and connected")
+
+	// Cross-check against the graph-level MPX implementation resolved from
+	// the algorithm registry: both views of the same construction must
+	// produce valid carvings of the same qualitative shape.
+	d, err := registry.Lookup("mpx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gc, err := d.Carve(context.Background(), g, 0.5, &registry.RunOptions{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.CheckCarving(g, nil, gc, 0.5, -1); err != nil {
+		log.Fatal("graph-level clusters invalid: ", err)
+	}
+	fmt.Printf("graph-level MPX (registry): %d clusters, dead fraction %.3f, max strong diameter %d\n",
+		gc.K, gc.DeadFraction(nil), cluster.MaxStrongDiameter(g, gc.Members()))
 }

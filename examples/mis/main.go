@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,8 +21,15 @@ func main() {
 	// per-color processing time).
 	g := strongdecomp.CycleGraph(4096)
 
-	d, err := strongdecomp.Decompose(g,
-		strongdecomp.WithAlgorithm(strongdecomp.ChangGhaffariImproved))
+	// Resolve the Theorem 3.4 construction through the algorithm registry
+	// and run it with a cancelable context — the registry-first shape of
+	// the API that any registered construction (including user-registered
+	// ones) is driven through.
+	dec, err := strongdecomp.Lookup("chang-ghaffari-improved")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dec.Decompose(context.Background(), g, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

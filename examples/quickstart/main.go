@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"strongdecomp"
 )
@@ -50,4 +52,29 @@ func main() {
 	}
 	fmt.Printf("improved variant: %d colors, max diameter %d\n",
 		d2.Colors, strongdecomp.MaxStrongDiameter(g, d2.Members()))
+
+	// Every construction lives in the algorithm registry; anything listed
+	// here can be selected with WithAlgorithmName or run via Lookup.
+	fmt.Printf("registered algorithms: %v\n", strongdecomp.Algorithms())
+
+	// For serving workloads, the Engine runs decompositions over a worker
+	// pool with context cancellation: here a batch of three graphs is
+	// decomposed concurrently under a deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	engine := strongdecomp.NewEngine(strongdecomp.WithWorkers(4))
+	batch := []*strongdecomp.Graph{
+		strongdecomp.CycleGraph(2048),
+		strongdecomp.GridGraph(32, 32),
+		strongdecomp.BinaryTreeGraph(1023),
+	}
+	results, err := engine.DecomposeBatch(ctx, batch, &strongdecomp.RunOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("batch[%d]: %d clusters, %d colors\n", i, r.K, r.Colors)
+	}
+	stats := engine.Stats()
+	fmt.Printf("engine: %d runs, max parallelism %d\n", stats.Runs, stats.MaxParallel)
 }

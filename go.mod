@@ -1,0 +1,3 @@
+module strongdecomp
+
+go 1.24

@@ -6,19 +6,23 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/congest"
 	"strongdecomp/internal/core"
 	"strongdecomp/internal/graph"
-	"strongdecomp/internal/ls"
-	"strongdecomp/internal/mpx"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rg"
 	"strongdecomp/internal/rounds"
 	"strongdecomp/internal/seqcarve"
+
+	// Registered constructions the harness reaches only through the
+	// registry; the blank imports trigger their self-registration.
+	_ "strongdecomp/internal/ls"
+	_ "strongdecomp/internal/mpx"
 )
 
 // Row is one measured line of a reproduced table.
@@ -71,164 +75,108 @@ func Workload(family string, n int, seed int64) (*graph.Graph, error) {
 	}
 }
 
+// selected builds the per-name filter for an optional `only` list; nil or
+// empty means every registered construction. Unknown names are an error, so
+// a typo'd filter cannot silently produce empty tables.
+func selected(only []string) (func(string) bool, error) {
+	if len(only) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	set := make(map[string]bool, len(only))
+	for _, name := range only {
+		if _, err := registry.Lookup(name); err != nil {
+			return nil, err
+		}
+		set[name] = true
+	}
+	return func(name string) bool { return set[name] }, nil
+}
+
 // Table1 reproduces every row of the paper's Table 1 (network decomposition
-// in the CONGEST model) as a measured experiment on an n-node workload.
-func Table1(family string, n int, seed int64) ([]Row, error) {
+// in the CONGEST model) as a measured experiment on an n-node workload. It
+// iterates the algorithm registry, so a newly registered construction gets
+// a measured row with no harness edit; the optional `only` list restricts
+// the run to the named constructions.
+func Table1(family string, n int, seed int64, only ...string) ([]Row, error) {
 	g, err := Workload(family, n, seed)
 	if err != nil {
 		return nil, err
 	}
+	keep, err := selected(only)
+	if err != nil {
+		return nil, err
+	}
 	var out []Row
-
-	type entry struct {
-		typ, model, algo, ref          string
-		paperColors, paperDiam, paperR string
-		run                            func(m *rounds.Meter) (*cluster.Decomposition, error)
-	}
-	entries := []entry{
-		{
-			typ: "weak", model: "randomized", algo: "linial-saks", ref: "[LS93]",
-			paperColors: "O(log n)", paperDiam: "O(log n)", paperR: "O(log^2 n)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return ls.Decompose(g, rand.New(rand.NewSource(seed)), m)
-			},
-		},
-		{
-			typ: "weak", model: "deterministic", algo: "rozhon-ghaffari", ref: "[RG20]",
-			paperColors: "O(log n)", paperDiam: "O(log^3 n)", paperR: "O(log^7 n)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return core.Decompose(g, func(gg *graph.Graph, nodes []int, eps float64, mm *rounds.Meter) (*cluster.Carving, error) {
-					return weakAsStrongForTable(gg, nodes, eps, mm)
-				}, m)
-			},
-		},
-		{
-			typ: "strong", model: "randomized", algo: "mpx-elkin-neiman", ref: "[MPX13, EN16]",
-			paperColors: "O(log n)", paperDiam: "O(log n)", paperR: "O(log^2 n)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return mpx.Decompose(g, rand.New(rand.NewSource(seed)), m)
-			},
-		},
-		{
-			typ: "strong", model: "deterministic", algo: "sequential-baseline", ref: "[LS93 seq.]",
-			paperColors: "O(log n)", paperDiam: "O(log n)", paperR: "O(k·D) (k clusters)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return seqcarve.Decompose(g, m), nil
-			},
-		},
-		{
-			typ: "strong", model: "deterministic", algo: "chang-ghaffari", ref: "Theorem 2.3",
-			paperColors: "O(log n)", paperDiam: "O(log^3 n)", paperR: "O(log^8 n)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return core.DecomposeRG(g, m)
-			},
-		},
-		{
-			typ: "strong", model: "deterministic", algo: "chang-ghaffari-improved", ref: "Theorem 3.4",
-			paperColors: "O(log n)", paperDiam: "O(log^2 n)", paperR: "O(log^11 n)",
-			run: func(m *rounds.Meter) (*cluster.Decomposition, error) {
-				return core.DecomposeImproved(g, m)
-			},
-		},
-	}
-	for _, e := range entries {
-		m := rounds.NewMeter()
-		d, err := e.run(m)
+	for _, info := range registry.Infos() {
+		if !keep(info.Name) {
+			continue
+		}
+		dec, err := registry.Lookup(info.Name)
 		if err != nil {
-			return nil, fmt.Errorf("bench: table1 %s: %w", e.algo, err)
+			return nil, err
+		}
+		m := rounds.NewMeter()
+		d, err := dec.Decompose(context.Background(), g, &registry.RunOptions{Seed: seed, Meter: m})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 %s: %w", info.Name, err)
 		}
 		if err := cluster.CheckDecomposition(g, d, -1, false); err != nil {
-			return nil, fmt.Errorf("bench: table1 %s invalid: %w", e.algo, err)
+			return nil, fmt.Errorf("bench: table1 %s invalid: %w", info.Name, err)
 		}
 		members := d.Members()
 		out = append(out, Row{
-			Table: "table1", Type: e.typ, Model: e.model, Algorithm: e.algo, Reference: e.ref,
+			Table: "table1", Type: info.Diameter, Model: info.Model,
+			Algorithm: info.DisplayName(), Reference: info.DecompRef(),
 			N: n, Colors: d.Colors,
 			StrongDiam: cluster.MaxStrongDiameter(g, members),
 			WeakDiam:   cluster.MaxWeakDiameter(g, members),
 			Rounds:     m.Rounds(), Clusters: d.K,
-			PaperColors: e.paperColors, PaperDiam: e.paperDiam, PaperRounds: e.paperR,
+			PaperColors: info.PaperColors, PaperDiam: info.PaperDecompDiam,
+			PaperRounds: info.PaperDecompRounds,
 		})
 	}
 	return out, nil
 }
 
-// weakAsStrongForTable adapts the RG20 weak carver to the StrongCarver
-// signature so the generic decomposition loop can color it; the clusters
-// are weak-diameter (may induce disconnected subgraphs), which Table 1
-// reports in the WeakDiam column.
-func weakAsStrongForTable(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
-	return rgCarve(g, nodes, eps, m)
-}
-
 // Table2 reproduces the rows of the paper's Table 2 (ball carving) at a
-// given boundary parameter eps.
-func Table2(family string, n int, eps float64, seed int64) ([]Row, error) {
+// given boundary parameter eps. Like Table1 it iterates the registry;
+// constructions without a calibrated eps-carving bound (empty
+// PaperCarveDiam, e.g. the sequential baseline) are skipped.
+func Table2(family string, n int, eps float64, seed int64, only ...string) ([]Row, error) {
 	g, err := Workload(family, n, seed)
 	if err != nil {
 		return nil, err
 	}
+	keep, err := selected(only)
+	if err != nil {
+		return nil, err
+	}
 	var out []Row
-
-	type entry struct {
-		typ, model, algo, ref string
-		paperDiam, paperR     string
-		run                   func(m *rounds.Meter) (*cluster.Carving, error)
-	}
-	entries := []entry{
-		{
-			typ: "weak", model: "randomized", algo: "linial-saks", ref: "[LS93]",
-			paperDiam: "O(log n / eps)", paperR: "O(log n / eps)",
-			run: func(m *rounds.Meter) (*cluster.Carving, error) {
-				return ls.Carve(g, nil, eps, rand.New(rand.NewSource(seed)), m)
-			},
-		},
-		{
-			typ: "weak", model: "deterministic", algo: "rozhon-ghaffari", ref: "[RG20]",
-			paperDiam: "O(log^3 n / eps)", paperR: "O(log^6 n / eps^2)",
-			run: func(m *rounds.Meter) (*cluster.Carving, error) {
-				return rgCarve(g, nil, eps, m)
-			},
-		},
-		{
-			typ: "strong", model: "randomized", algo: "mpx-elkin-neiman", ref: "[MPX13, EN16]",
-			paperDiam: "O(log n / eps)", paperR: "O(log n / eps)",
-			run: func(m *rounds.Meter) (*cluster.Carving, error) {
-				return mpx.Carve(g, nil, eps, rand.New(rand.NewSource(seed)), m)
-			},
-		},
-		{
-			typ: "strong", model: "deterministic", algo: "chang-ghaffari", ref: "Theorem 2.2",
-			paperDiam: "O(log^3 n / eps)", paperR: "O(log^7 n / eps^2)",
-			run: func(m *rounds.Meter) (*cluster.Carving, error) {
-				return core.CarveRG(g, nil, eps, m)
-			},
-		},
-		{
-			typ: "strong", model: "deterministic", algo: "chang-ghaffari-improved", ref: "Theorem 3.3",
-			paperDiam: "O(log^2 n / eps)", paperR: "O(log^10 n / eps^2)",
-			run: func(m *rounds.Meter) (*cluster.Carving, error) {
-				return core.CarveImproved(g, nil, eps, m)
-			},
-		},
-	}
-	for _, e := range entries {
-		m := rounds.NewMeter()
-		c, err := e.run(m)
+	for _, info := range registry.Infos() {
+		if !keep(info.Name) || info.PaperCarveDiam == "" {
+			continue
+		}
+		dec, err := registry.Lookup(info.Name)
 		if err != nil {
-			return nil, fmt.Errorf("bench: table2 %s: %w", e.algo, err)
+			return nil, err
+		}
+		m := rounds.NewMeter()
+		c, err := dec.Carve(context.Background(), g, eps, &registry.RunOptions{Seed: seed, Meter: m})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s: %w", info.Name, err)
 		}
 		if err := cluster.CheckCarving(g, nil, c, eps, -1); err != nil {
-			return nil, fmt.Errorf("bench: table2 %s invalid: %w", e.algo, err)
+			return nil, fmt.Errorf("bench: table2 %s invalid: %w", info.Name, err)
 		}
 		members := c.Members()
 		out = append(out, Row{
-			Table: "table2", Type: e.typ, Model: e.model, Algorithm: e.algo, Reference: e.ref,
+			Table: "table2", Type: info.Diameter, Model: info.Model,
+			Algorithm: info.DisplayName(), Reference: info.CarveRef(),
 			N: n, Eps: eps,
 			StrongDiam: cluster.MaxStrongDiameter(g, members),
 			WeakDiam:   cluster.MaxWeakDiameter(g, members),
 			Rounds:     m.Rounds(), DeadFrac: c.DeadFraction(nil), Clusters: c.K,
-			PaperDiam: e.paperDiam, PaperRounds: e.paperR,
+			PaperDiam: info.PaperCarveDiam, PaperRounds: info.PaperCarveRounds,
 		})
 	}
 	return out, nil
@@ -458,11 +406,12 @@ type ScalingPoint struct {
 }
 
 // Scaling sweeps n over the given sizes for every decomposition algorithm
-// and returns the series of (rounds, diameter, colors) measurements.
-func Scaling(family string, ns []int, seed int64) ([]ScalingPoint, error) {
+// (or the optional `only` subset) and returns the series of (rounds,
+// diameter, colors) measurements.
+func Scaling(family string, ns []int, seed int64, only ...string) ([]ScalingPoint, error) {
 	var out []ScalingPoint
 	for _, n := range ns {
-		rows, err := Table1(family, n, seed)
+		rows, err := Table1(family, n, seed, only...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,107 @@
+package cluster
+
+import "fmt"
+
+// Piece is a decomposition or carving computed on an induced subgraph,
+// together with the mapping from subgraph node IDs back to host-graph node
+// IDs (NodeOf[local] = host). The Engine decomposes connected components
+// independently — in the distributed model they literally run in parallel —
+// and merges the pieces back into a host-graph result.
+type Piece struct {
+	D      *Decomposition
+	C      *Carving
+	NodeOf []int
+}
+
+// MergeDecompositions combines per-component decompositions into one
+// decomposition of an n-node host graph. Cluster IDs are offset per piece;
+// colors are reused across pieces, which is sound because distinct
+// components are non-adjacent, so the merged color count is the maximum
+// over pieces rather than the sum.
+func MergeDecompositions(n int, pieces []Piece) (*Decomposition, error) {
+	out := &Decomposition{Assign: make([]int, n)}
+	for i := range out.Assign {
+		out.Assign[i] = Unclustered
+	}
+	for _, p := range pieces {
+		if p.D == nil {
+			return nil, fmt.Errorf("cluster: merge piece without decomposition")
+		}
+		if len(p.D.Assign) != len(p.NodeOf) {
+			return nil, fmt.Errorf("cluster: merge piece has %d assignments for %d nodes",
+				len(p.D.Assign), len(p.NodeOf))
+		}
+		base := out.K
+		for local, cl := range p.D.Assign {
+			host := p.NodeOf[local]
+			if host < 0 || host >= n {
+				return nil, fmt.Errorf("cluster: merge node %d outside host graph", host)
+			}
+			if out.Assign[host] != Unclustered {
+				return nil, fmt.Errorf("cluster: merge pieces overlap at node %d", host)
+			}
+			out.Assign[host] = base + cl
+		}
+		out.Color = append(out.Color, p.D.Color...)
+		for _, c := range p.D.Centers {
+			if c >= 0 && c < len(p.NodeOf) {
+				out.Centers = append(out.Centers, p.NodeOf[c])
+			} else {
+				out.Centers = append(out.Centers, c)
+			}
+		}
+		out.K += p.D.K
+		if p.D.Colors > out.Colors {
+			out.Colors = p.D.Colors
+		}
+	}
+	for v, cl := range out.Assign {
+		if cl == Unclustered {
+			return nil, fmt.Errorf("cluster: merge left node %d unassigned", v)
+		}
+	}
+	return out, nil
+}
+
+// MergeCarvings combines per-component carvings into one carving of an
+// n-node host graph; nodes covered by no piece stay Unclustered (dead).
+// Optional per-cluster Steiner trees are dropped: their node IDs are
+// subgraph-local and no current caller consumes them across a merge.
+func MergeCarvings(n int, pieces []Piece) (*Carving, error) {
+	out := &Carving{Assign: make([]int, n)}
+	for i := range out.Assign {
+		out.Assign[i] = Unclustered
+	}
+	for _, p := range pieces {
+		if p.C == nil {
+			return nil, fmt.Errorf("cluster: merge piece without carving")
+		}
+		if len(p.C.Assign) != len(p.NodeOf) {
+			return nil, fmt.Errorf("cluster: merge piece has %d assignments for %d nodes",
+				len(p.C.Assign), len(p.NodeOf))
+		}
+		base := out.K
+		for local, cl := range p.C.Assign {
+			if cl == Unclustered {
+				continue
+			}
+			host := p.NodeOf[local]
+			if host < 0 || host >= n {
+				return nil, fmt.Errorf("cluster: merge node %d outside host graph", host)
+			}
+			if out.Assign[host] != Unclustered {
+				return nil, fmt.Errorf("cluster: merge pieces overlap at node %d", host)
+			}
+			out.Assign[host] = base + cl
+		}
+		for _, c := range p.C.Centers {
+			if c >= 0 && c < len(p.NodeOf) {
+				out.Centers = append(out.Centers, p.NodeOf[c])
+			} else {
+				out.Centers = append(out.Centers, c)
+			}
+		}
+		out.K += p.C.K
+	}
+	return out, nil
+}

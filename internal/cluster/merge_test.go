@@ -1,0 +1,71 @@
+package cluster
+
+import "testing"
+
+func TestMergeDecompositions(t *testing.T) {
+	// Two pieces over a 5-node host: nodes {0,2,4} and {1,3}.
+	a := &Decomposition{Assign: []int{0, 1, 0}, Color: []int{0, 1}, K: 2, Colors: 2, Centers: []int{0, 1}}
+	b := &Decomposition{Assign: []int{0, 0}, Color: []int{0}, K: 1, Colors: 1, Centers: []int{1}}
+	d, err := MergeDecompositions(5, []Piece{
+		{D: a, NodeOf: []int{0, 2, 4}},
+		{D: b, NodeOf: []int{1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAssign := []int{0, 2, 1, 2, 0}
+	for v, cl := range d.Assign {
+		if cl != wantAssign[v] {
+			t.Fatalf("node %d assigned %d, want %d", v, cl, wantAssign[v])
+		}
+	}
+	if d.K != 3 || d.Colors != 2 {
+		t.Fatalf("K=%d Colors=%d, want 3/2", d.K, d.Colors)
+	}
+	if d.Centers[2] != 3 {
+		t.Fatalf("piece-b center not remapped: %v", d.Centers)
+	}
+}
+
+func TestMergeDecompositionsErrors(t *testing.T) {
+	full := &Decomposition{Assign: []int{0}, Color: []int{0}, K: 1, Colors: 1}
+	if _, err := MergeDecompositions(2, []Piece{{D: full, NodeOf: []int{0}}}); err == nil {
+		t.Fatal("uncovered node accepted")
+	}
+	if _, err := MergeDecompositions(1, []Piece{
+		{D: full, NodeOf: []int{0}},
+		{D: full, NodeOf: []int{0}},
+	}); err == nil {
+		t.Fatal("overlapping pieces accepted")
+	}
+	if _, err := MergeDecompositions(1, []Piece{{D: full, NodeOf: []int{5}}}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := MergeDecompositions(1, []Piece{{NodeOf: []int{0}}}); err == nil {
+		t.Fatal("piece without decomposition accepted")
+	}
+	if _, err := MergeDecompositions(1, []Piece{{D: full, NodeOf: []int{0, 1}}}); err == nil {
+		t.Fatal("mismatched assignment length accepted")
+	}
+}
+
+func TestMergeCarvings(t *testing.T) {
+	a := &Carving{Assign: []int{0, Unclustered}, K: 1, Centers: []int{0}}
+	b := &Carving{Assign: []int{0}, K: 1, Centers: []int{0}}
+	c, err := MergeCarvings(3, []Piece{
+		{C: a, NodeOf: []int{0, 1}},
+		{C: b, NodeOf: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, Unclustered, 1}
+	for v, cl := range c.Assign {
+		if cl != want[v] {
+			t.Fatalf("node %d assigned %d, want %d", v, cl, want[v])
+		}
+	}
+	if c.K != 2 || c.Centers[1] != 2 {
+		t.Fatalf("bad merge: %+v", c)
+	}
+}

@@ -19,12 +19,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rg"
 	"strongdecomp/internal/rounds"
 )
@@ -38,6 +40,19 @@ type WeakCarver func(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) 
 // fraction of nodes so that every remaining connected component (cluster)
 // has bounded strong diameter.
 type StrongCarver func(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error)
+
+// CtxStrongCarver is the context-aware StrongCarver contract used by the
+// registry-facing entry points; cancellation is observed between carving
+// iterations.
+type CtxStrongCarver func(ctx context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error)
+
+// withCtx lifts a legacy StrongCarver into the context-aware shape; the
+// carver itself runs to completion, cancellation applies between calls.
+func withCtx(carver StrongCarver) CtxStrongCarver {
+	return func(_ context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
+		return carver(g, nodes, eps, m)
+	}
+}
 
 // collector accumulates emitted clusters over the iterative process.
 type collector struct {
@@ -81,6 +96,13 @@ func (co *collector) carving() *cluster.Carving {
 // a final cluster and the shell dies. Otherwise A's unclustered nodes die.
 // Either way every surviving component halves, so log n iterations suffice.
 func StrongCarve(g *graph.Graph, nodes []int, eps float64, weak WeakCarver, m *rounds.Meter) (*cluster.Carving, error) {
+	return StrongCarveContext(context.Background(), g, nodes, eps, weak, m)
+}
+
+// StrongCarveContext is StrongCarve with cancellation: the context is
+// checked before every component task, so a canceled run stops within one
+// weak-carver invocation and returns registry.ErrCanceled.
+func StrongCarveContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, weak WeakCarver, m *rounds.Meter) (*cluster.Carving, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("core: eps %v outside (0, 1]", eps)
 	}
@@ -113,6 +135,9 @@ func StrongCarve(g *graph.Graph, nodes []int, eps float64, weak WeakCarver, m *r
 
 	dist := make([]int, g.N())
 	for len(queue) > 0 {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		t := queue[0]
 		queue = queue[1:]
 		s := t.comp
@@ -220,7 +245,12 @@ func StrongCarve(g *graph.Graph, nodes []int, eps float64, weak WeakCarver, m *r
 // CarveRG is Theorem 2.2: StrongCarve instantiated with the deterministic
 // weak-diameter carver of internal/rg.
 func CarveRG(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
-	return StrongCarve(g, nodes, eps, rg.Carve, m)
+	return CarveRGContext(context.Background(), g, nodes, eps, m)
+}
+
+// CarveRGContext is CarveRG with cancellation support.
+func CarveRGContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
+	return StrongCarveContext(ctx, g, nodes, eps, rg.Carve, m)
 }
 
 // Decompose is the standard reduction from network decomposition to ball
@@ -228,6 +258,12 @@ func CarveRG(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluste
 // the remaining nodes; clusters found in iteration i receive color i. A
 // deterministic carver yields at most ceil(log₂ n) + 1 colors.
 func Decompose(g *graph.Graph, carver StrongCarver, m *rounds.Meter) (*cluster.Decomposition, error) {
+	return DecomposeContext(context.Background(), g, withCtx(carver), m)
+}
+
+// DecomposeContext is the context-aware reduction: cancellation is observed
+// before every color iteration and inside context-aware carvers.
+func DecomposeContext(ctx context.Context, g *graph.Graph, carver CtxStrongCarver, m *rounds.Meter) (*cluster.Decomposition, error) {
 	n := g.N()
 	assign := make([]int, n)
 	for i := range assign {
@@ -240,10 +276,13 @@ func Decompose(g *graph.Graph, carver StrongCarver, m *rounds.Meter) (*cluster.D
 	)
 	remaining := allNodes(n)
 	for iter := 0; len(remaining) > 0; iter++ {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		if iter > 4*(log2ceil(n)+2) {
 			return nil, fmt.Errorf("core: decomposition did not converge after %d colors", iter)
 		}
-		c, err := carver(g, remaining, 0.5, m)
+		c, err := carver(ctx, g, remaining, 0.5, m)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +320,12 @@ func Decompose(g *graph.Graph, carver StrongCarver, m *rounds.Meter) (*cluster.D
 // DecomposeRG is Theorem 2.3: a deterministic strong-diameter network
 // decomposition with O(log n) colors and O(log³ n) cluster diameter.
 func DecomposeRG(g *graph.Graph, m *rounds.Meter) (*cluster.Decomposition, error) {
-	return Decompose(g, CarveRG, m)
+	return DecomposeRGContext(context.Background(), g, m)
+}
+
+// DecomposeRGContext is DecomposeRG with cancellation support.
+func DecomposeRGContext(ctx context.Context, g *graph.Graph, m *rounds.Meter) (*cluster.Decomposition, error) {
+	return DecomposeContext(ctx, g, CarveRGContext, m)
 }
 
 // memberTreeDepth returns the maximum tree depth over the given members

@@ -11,12 +11,14 @@ package core
 // measured within the remaining graph.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rg"
 	"strongdecomp/internal/rounds"
 )
@@ -40,6 +42,12 @@ type EdgeWeakCarver func(g *graph.Graph, nodes []int, eps float64, m *rounds.Met
 // ball grows until a radius whose boundary holds at most an eps/2 fraction
 // of the ball's edges, and the boundary edges (not nodes) are cut.
 func StrongCarveEdges(g *graph.Graph, nodes []int, eps float64, weak EdgeWeakCarver, m *rounds.Meter) (*EdgeCarving, error) {
+	return StrongCarveEdgesContext(context.Background(), g, nodes, eps, weak, m)
+}
+
+// StrongCarveEdgesContext is StrongCarveEdges with cancellation observed
+// before every component task.
+func StrongCarveEdgesContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, weak EdgeWeakCarver, m *rounds.Meter) (*EdgeCarving, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("core: eps %v outside (0, 1]", eps)
 	}
@@ -93,6 +101,9 @@ func StrongCarveEdges(g *graph.Graph, nodes []int, eps float64, weak EdgeWeakCar
 	dist := make([]int, g.N())
 
 	for len(queue) > 0 {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		t := queue[0]
 		queue = queue[1:]
 		s := t.comp
@@ -217,7 +228,12 @@ func StrongCarveEdges(g *graph.Graph, nodes []int, eps float64, weak EdgeWeakCar
 // CarveEdgesRG is the edge version of Theorem 2.2: StrongCarveEdges
 // instantiated with the deterministic weak edge carver of internal/rg.
 func CarveEdgesRG(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*EdgeCarving, error) {
-	return StrongCarveEdges(g, nodes, eps, rg.CarveEdges, m)
+	return CarveEdgesRGContext(context.Background(), g, nodes, eps, m)
+}
+
+// CarveEdgesRGContext is CarveEdgesRG with cancellation support.
+func CarveEdgesRGContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*EdgeCarving, error) {
+	return StrongCarveEdgesContext(ctx, g, nodes, eps, rg.CarveEdges, m)
 }
 
 // --- helpers ---------------------------------------------------------------

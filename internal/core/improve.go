@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
 
@@ -142,6 +144,12 @@ func CutOrComponent(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (
 // an emitted component. Every branch shrinks by a factor 2/3, so the
 // recursion depth is O(log n).
 func ImproveDiameter(g *graph.Graph, nodes []int, eps float64, carver StrongCarver, m *rounds.Meter) (*cluster.Carving, error) {
+	return ImproveDiameterContext(context.Background(), g, nodes, eps, withCtx(carver), m)
+}
+
+// ImproveDiameterContext is ImproveDiameter with cancellation: the context
+// is checked before every recursion task and inside the carver.
+func ImproveDiameterContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, carver CtxStrongCarver, m *rounds.Meter) (*cluster.Carving, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("core: eps %v outside (0, 1]", eps)
 	}
@@ -167,6 +175,9 @@ func ImproveDiameter(g *graph.Graph, nodes []int, eps float64, carver StrongCarv
 		queue = append(queue, task{comp: comp, level: 0})
 	}
 	for len(queue) > 0 {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		t := queue[0]
 		queue = queue[1:]
 		s := t.comp
@@ -177,7 +188,7 @@ func ImproveDiameter(g *graph.Graph, nodes []int, eps float64, carver StrongCarv
 			co.emit(s, s[0])
 			continue
 		}
-		carved, err := carver(g, s, epsCarve, m)
+		carved, err := carver(ctx, g, s, epsCarve, m)
 		if err != nil {
 			return nil, fmt.Errorf("core: improve: carver: %w", err)
 		}
@@ -211,13 +222,23 @@ func ImproveDiameter(g *graph.Graph, nodes []int, eps float64, carver StrongCarv
 // Theorem 2.2 carver, achieving strong diameter O(log² n / eps)
 // deterministically.
 func CarveImproved(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
-	return ImproveDiameter(g, nodes, eps, CarveRG, m)
+	return CarveImprovedContext(context.Background(), g, nodes, eps, m)
+}
+
+// CarveImprovedContext is CarveImproved with cancellation support.
+func CarveImprovedContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
+	return ImproveDiameterContext(ctx, g, nodes, eps, CarveRGContext, m)
 }
 
 // DecomposeImproved is Theorem 3.4: a deterministic strong-diameter network
 // decomposition with O(log n) colors and O(log² n) cluster diameter.
 func DecomposeImproved(g *graph.Graph, m *rounds.Meter) (*cluster.Decomposition, error) {
-	return Decompose(g, CarveImproved, m)
+	return DecomposeImprovedContext(context.Background(), g, m)
+}
+
+// DecomposeImprovedContext is DecomposeImproved with cancellation support.
+func DecomposeImprovedContext(ctx context.Context, g *graph.Graph, m *rounds.Meter) (*cluster.Decomposition, error) {
+	return DecomposeContext(ctx, g, CarveImprovedContext, m)
 }
 
 // radiusReaching returns the smallest r with sizes[r] >= target (or the last

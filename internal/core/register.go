@@ -1,0 +1,101 @@
+package core
+
+// Self-registration of the paper's deterministic constructions (and the
+// RG20 weak-diameter baseline they transform) with the algorithm registry.
+// Importing this package — which the facade and the bench harness always do
+// — makes the constructions reachable via registry.Lookup.
+
+import (
+	"context"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
+	"strongdecomp/internal/rg"
+	"strongdecomp/internal/rounds"
+)
+
+func init() {
+	registry.MustRegister("rozhon-ghaffari", func() registry.Decomposer {
+		return registry.Funcs{
+			Meta: registry.Info{
+				Name:              "rozhon-ghaffari",
+				Reference:         "[RG20]",
+				Model:             "deterministic",
+				Diameter:          "weak",
+				PaperColors:       "O(log n)",
+				PaperCarveDiam:    "O(log^3 n / eps)",
+				PaperCarveRounds:  "O(log^6 n / eps^2)",
+				PaperDecompDiam:   "O(log^3 n)",
+				PaperDecompRounds: "O(log^7 n)",
+				Order:             20,
+			},
+			CarveFunc: func(ctx context.Context, g *graph.Graph, eps float64, o registry.RunOptions) (*cluster.Carving, error) {
+				return rgWeakCtx(ctx, g, o.Nodes, eps, o.Meter)
+			},
+			DecomposeFunc: func(ctx context.Context, g *graph.Graph, o registry.RunOptions) (*cluster.Decomposition, error) {
+				return DecomposeContext(ctx, g, rgWeakCtx, o.Meter)
+			},
+		}
+	})
+	registry.MustRegister("chang-ghaffari", func() registry.Decomposer {
+		return registry.Funcs{
+			Meta: registry.Info{
+				Name:              "chang-ghaffari",
+				Reference:         "Theorems 2.2 and 2.3",
+				CarveReference:    "Theorem 2.2",
+				DecompReference:   "Theorem 2.3",
+				Model:             "deterministic",
+				Diameter:          "strong",
+				PaperColors:       "O(log n)",
+				PaperCarveDiam:    "O(log^3 n / eps)",
+				PaperCarveRounds:  "O(log^7 n / eps^2)",
+				PaperDecompDiam:   "O(log^3 n)",
+				PaperDecompRounds: "O(log^8 n)",
+				Order:             50,
+			},
+			CarveFunc: func(ctx context.Context, g *graph.Graph, eps float64, o registry.RunOptions) (*cluster.Carving, error) {
+				return CarveRGContext(ctx, g, o.Nodes, eps, o.Meter)
+			},
+			DecomposeFunc: func(ctx context.Context, g *graph.Graph, o registry.RunOptions) (*cluster.Decomposition, error) {
+				return DecomposeRGContext(ctx, g, o.Meter)
+			},
+		}
+	})
+	registry.MustRegister("chang-ghaffari-improved", func() registry.Decomposer {
+		return registry.Funcs{
+			Meta: registry.Info{
+				Name:              "chang-ghaffari-improved",
+				Reference:         "Theorems 3.3 and 3.4",
+				CarveReference:    "Theorem 3.3",
+				DecompReference:   "Theorem 3.4",
+				Model:             "deterministic",
+				Diameter:          "strong",
+				PaperColors:       "O(log n)",
+				PaperCarveDiam:    "O(log^2 n / eps)",
+				PaperCarveRounds:  "O(log^10 n / eps^2)",
+				PaperDecompDiam:   "O(log^2 n)",
+				PaperDecompRounds: "O(log^11 n)",
+				Order:             60,
+			},
+			CarveFunc: func(ctx context.Context, g *graph.Graph, eps float64, o registry.RunOptions) (*cluster.Carving, error) {
+				return CarveImprovedContext(ctx, g, o.Nodes, eps, o.Meter)
+			},
+			DecomposeFunc: func(ctx context.Context, g *graph.Graph, o registry.RunOptions) (*cluster.Decomposition, error) {
+				return DecomposeImprovedContext(ctx, g, o.Meter)
+			},
+		}
+	})
+}
+
+// rgWeakCtx lifts the RG20 weak carver into the context-aware carver shape;
+// the weak carver is the transformation's black box, so cancellation applies
+// between invocations. Its clusters may induce disconnected subgraphs,
+// which is exactly the weak-diameter behavior the Theorem 2.1
+// transformation repairs.
+func rgWeakCtx(ctx context.Context, g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.Carving, error) {
+	if err := registry.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return rg.Carve(g, nodes, eps, m)
+}

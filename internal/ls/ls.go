@@ -17,6 +17,7 @@
 package ls
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
 
@@ -45,6 +47,12 @@ func Radius(n int, p float64) int {
 // have weak diameter at most 2·Radius(n, eps/2) and come with Steiner trees
 // (the covering BFS trees truncated to members and their relay paths).
 func Carve(g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.Meter) (*cluster.Carving, error) {
+	return CarveContext(context.Background(), g, nodes, eps, rng, m)
+}
+
+// CarveContext is Carve with cancellation observed between Las Vegas
+// attempts.
+func CarveContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.Meter) (*cluster.Carving, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("ls: eps %v outside (0, 1]", eps)
 	}
@@ -59,6 +67,9 @@ func Carve(g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.M
 	}
 	p := eps / 2
 	for attempt := 0; attempt < maxCarveAttempts; attempt++ {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		c := carveOnce(g, nodes, p, rng, m)
 		if c.DeadFraction(nodes) <= eps+1.0/float64(len(nodes)) {
 			return c, nil
@@ -132,6 +143,12 @@ func carveOnce(g *graph.Graph, nodes []int, p float64, rng *rand.Rand, m *rounds
 // with eps = 1/2 on the remaining nodes; clusters found in iteration i get
 // color i. With high probability this needs O(log n) colors.
 func Decompose(g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomposition, error) {
+	return DecomposeContext(context.Background(), g, rng, m)
+}
+
+// DecomposeContext is Decompose with cancellation observed before every
+// color iteration.
+func DecomposeContext(ctx context.Context, g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomposition, error) {
 	n := g.N()
 	assign := make([]int, n)
 	for i := range assign {
@@ -147,7 +164,7 @@ func Decompose(g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomp
 		remaining[i] = i
 	}
 	for iter := 0; len(remaining) > 0; iter++ {
-		c, err := Carve(g, remaining, 0.5, rng, m)
+		c, err := CarveContext(ctx, g, remaining, 0.5, rng, m)
 		if err != nil {
 			return nil, err
 		}

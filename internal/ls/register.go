@@ -1,0 +1,38 @@
+package ls
+
+// Self-registration of the Linial–Saks randomized weak-diameter
+// construction with the algorithm registry.
+
+import (
+	"context"
+	"math/rand"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
+)
+
+func init() {
+	registry.MustRegister("linial-saks", func() registry.Decomposer {
+		return registry.Funcs{
+			Meta: registry.Info{
+				Name:              "linial-saks",
+				Reference:         "[LS93]",
+				Model:             "randomized",
+				Diameter:          "weak",
+				PaperColors:       "O(log n)",
+				PaperCarveDiam:    "O(log n / eps)",
+				PaperCarveRounds:  "O(log n / eps)",
+				PaperDecompDiam:   "O(log n)",
+				PaperDecompRounds: "O(log^2 n)",
+				Order:             10,
+			},
+			CarveFunc: func(ctx context.Context, g *graph.Graph, eps float64, o registry.RunOptions) (*cluster.Carving, error) {
+				return CarveContext(ctx, g, o.Nodes, eps, rand.New(rand.NewSource(o.Seed)), o.Meter)
+			},
+			DecomposeFunc: func(ctx context.Context, g *graph.Graph, o registry.RunOptions) (*cluster.Decomposition, error) {
+				return DecomposeContext(ctx, g, rand.New(rand.NewSource(o.Seed)), o.Meter)
+			},
+		}
+	})
+}

@@ -16,6 +16,7 @@ package mpx
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
 
@@ -34,6 +36,12 @@ const maxCarveAttempts = 40
 // surviving clusters are non-adjacent, connected, and have strong diameter
 // O(log n / eps) with high probability.
 func Carve(g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.Meter) (*cluster.Carving, error) {
+	return CarveContext(context.Background(), g, nodes, eps, rng, m)
+}
+
+// CarveContext is Carve with cancellation observed between Las Vegas
+// attempts.
+func CarveContext(ctx context.Context, g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.Meter) (*cluster.Carving, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("mpx: eps %v outside (0, 1]", eps)
 	}
@@ -51,6 +59,9 @@ func Carve(g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.M
 	// below eps; the retry loop makes the bound deterministic.
 	beta := eps / 4
 	for attempt := 0; attempt < maxCarveAttempts; attempt++ {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		c := carveOnce(g, nodes, beta, rng, m)
 		if c.DeadFraction(nodes) <= eps+1.0/float64(len(nodes)) {
 			return c, nil
@@ -64,6 +75,12 @@ func Carve(g *graph.Graph, nodes []int, eps float64, rng *rand.Rand, m *rounds.M
 // probability this uses O(log n) colors, O(log n) diameter, O(log² n)
 // rounds — the Elkin–Neiman row of Table 1.
 func Decompose(g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomposition, error) {
+	return DecomposeContext(context.Background(), g, rng, m)
+}
+
+// DecomposeContext is Decompose with cancellation observed before every
+// color iteration.
+func DecomposeContext(ctx context.Context, g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomposition, error) {
 	n := g.N()
 	assign := make([]int, n)
 	for i := range assign {
@@ -79,7 +96,7 @@ func Decompose(g *graph.Graph, rng *rand.Rand, m *rounds.Meter) (*cluster.Decomp
 		remaining[i] = i
 	}
 	for iter := 0; len(remaining) > 0; iter++ {
-		c, err := Carve(g, remaining, 0.5, rng, m)
+		c, err := CarveContext(ctx, g, remaining, 0.5, rng, m)
 		if err != nil {
 			return nil, err
 		}

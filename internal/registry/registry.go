@@ -1,0 +1,262 @@
+// Package registry is the central dispatch table for decomposition
+// constructions. Each algorithm package (core, mpx, ls, seqcarve)
+// self-registers a factory under a stable name at init time; the public
+// facade, the benchmark harness, and the cmd tools all resolve
+// constructions through Lookup instead of hard-coding an algorithm switch.
+//
+// A registered construction implements Decomposer: a context-aware ball
+// carving (Carve) and network decomposition (Decompose) over a host graph,
+// parameterized by RunOptions. Adding a construction to the system is a
+// single Register call — no facade edits required.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/rounds"
+)
+
+// Typed errors shared by the registry and every registered construction.
+var (
+	// ErrUnknownAlgorithm is returned by Lookup for unregistered names.
+	ErrUnknownAlgorithm = errors.New("strongdecomp: unknown algorithm")
+	// ErrCanceled wraps a context cancellation or deadline observed
+	// mid-run; errors.Is also matches the underlying ctx.Err().
+	ErrCanceled = errors.New("strongdecomp: run canceled")
+	// ErrDuplicateAlgorithm is returned by Register for a name collision.
+	ErrDuplicateAlgorithm = errors.New("strongdecomp: duplicate algorithm")
+)
+
+// CtxErr returns nil while ctx is live and an ErrCanceled-wrapped error once
+// it is canceled or past its deadline. Algorithm main loops call it at every
+// iteration boundary, which is what makes runs cancelable mid-flight.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// RunOptions carries the per-run parameters shared by every construction.
+// The zero value (and a nil pointer) are valid and mean: seed 0, no meter,
+// all nodes. Every seed — including 0 — is passed through verbatim so that
+// pinned experiments stay reproducible.
+type RunOptions struct {
+	// Seed drives the randomized constructions; deterministic ones
+	// ignore it.
+	Seed int64
+	// Meter, when non-nil, accumulates the simulated CONGEST cost.
+	Meter *rounds.Meter
+	// Nodes restricts Carve to the subgraph induced by these nodes
+	// (nil = all nodes). Decompose always covers the whole graph.
+	Nodes []int
+}
+
+// Normalized returns a value copy; safe on nil.
+func (o *RunOptions) Normalized() RunOptions {
+	if o == nil {
+		return RunOptions{}
+	}
+	return *o
+}
+
+// Info describes a registered construction: identity, provenance, and the
+// paper-stated bounds that the benchmark tables print next to measurements.
+type Info struct {
+	// Name is the registry key ("chang-ghaffari", "mpx", ...).
+	Name string
+	// Display is the long table name ("mpx-elkin-neiman"); defaults to
+	// Name when empty.
+	Display string
+	// Reference cites the construction ("Theorem 2.3", "[LS93]").
+	// CarveReference / DecompReference override it per operation when the
+	// paper states the two results separately; empty means Reference.
+	Reference       string
+	CarveReference  string
+	DecompReference string
+	// Model is "deterministic" or "randomized".
+	Model string
+	// Diameter is "strong" or "weak" — whether cluster diameters are
+	// bounded in the induced subgraph or only in the host graph.
+	Diameter string
+	// Paper-stated bounds, as printed in Tables 1 and 2. An empty
+	// PaperCarveDiam marks a construction without a calibrated
+	// eps-carving row (it is skipped by the Table 2 harness).
+	PaperColors       string
+	PaperCarveDiam    string
+	PaperCarveRounds  string
+	PaperDecompDiam   string
+	PaperDecompRounds string
+	// Order fixes the presentation order in Algorithms() and the tables.
+	Order int
+}
+
+// DisplayName returns Display, falling back to Name.
+func (i Info) DisplayName() string {
+	if i.Display != "" {
+		return i.Display
+	}
+	return i.Name
+}
+
+// CarveRef returns the citation for the ball-carving result.
+func (i Info) CarveRef() string {
+	if i.CarveReference != "" {
+		return i.CarveReference
+	}
+	return i.Reference
+}
+
+// DecompRef returns the citation for the decomposition result.
+func (i Info) DecompRef() string {
+	if i.DecompReference != "" {
+		return i.DecompReference
+	}
+	return i.Reference
+}
+
+// Decomposer is a registered construction. Implementations must be safe for
+// concurrent use: the Engine runs one Decomposer value from many goroutines.
+type Decomposer interface {
+	// Info reports the construction's metadata.
+	Info() Info
+	// Carve computes a ball carving with boundary parameter eps on the
+	// subgraph induced by opts.Nodes (nil = all of g).
+	Carve(ctx context.Context, g *graph.Graph, eps float64, opts *RunOptions) (*cluster.Carving, error)
+	// Decompose computes a full network decomposition of g.
+	Decompose(ctx context.Context, g *graph.Graph, opts *RunOptions) (*cluster.Decomposition, error)
+}
+
+// Factory builds a Decomposer. Lookup invokes it on every call, so factories
+// returning stateless values are cheapest; stateful implementations get a
+// fresh instance per Lookup.
+type Factory func() Decomposer
+
+// Funcs adapts plain functions to the Decomposer interface; it is the
+// adapter every in-tree algorithm package registers through. Both function
+// fields receive normalized (nil-safe) options.
+type Funcs struct {
+	Meta          Info
+	CarveFunc     func(ctx context.Context, g *graph.Graph, eps float64, opts RunOptions) (*cluster.Carving, error)
+	DecomposeFunc func(ctx context.Context, g *graph.Graph, opts RunOptions) (*cluster.Decomposition, error)
+}
+
+// Info implements Decomposer.
+func (f Funcs) Info() Info { return f.Meta }
+
+// Carve implements Decomposer.
+func (f Funcs) Carve(ctx context.Context, g *graph.Graph, eps float64, opts *RunOptions) (*cluster.Carving, error) {
+	if f.CarveFunc == nil {
+		return nil, fmt.Errorf("strongdecomp: %s does not implement Carve", f.Meta.Name)
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return f.CarveFunc(ctx, g, eps, opts.Normalized())
+}
+
+// Decompose implements Decomposer.
+func (f Funcs) Decompose(ctx context.Context, g *graph.Graph, opts *RunOptions) (*cluster.Decomposition, error) {
+	if f.DecomposeFunc == nil {
+		return nil, fmt.Errorf("strongdecomp: %s does not implement Decompose", f.Meta.Name)
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return f.DecomposeFunc(ctx, g, opts.Normalized())
+}
+
+var (
+	mu        sync.RWMutex
+	factories = make(map[string]Factory)
+	infos     = make(map[string]Info)
+)
+
+// Register adds a construction under name. The factory is invoked once
+// immediately to capture its Info and validate the name.
+func Register(name string, factory Factory) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("strongdecomp: Register needs a name and a factory")
+	}
+	d := factory()
+	if d == nil {
+		return fmt.Errorf("strongdecomp: factory for %q returned nil", name)
+	}
+	info := d.Info()
+	if info.Name == "" {
+		info.Name = name
+	}
+	if info.Name != name {
+		return fmt.Errorf("strongdecomp: factory for %q reports name %q", name, info.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateAlgorithm, name)
+	}
+	factories[name] = factory
+	infos[name] = info
+	return nil
+}
+
+// MustRegister is Register for init-time self-registration; it panics on
+// error because a broken registration is a programming bug.
+func MustRegister(name string, factory Factory) {
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a construction; it exists so tests can register
+// throwaway algorithms without polluting the process-wide table.
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(factories, name)
+	delete(infos, name)
+}
+
+// Lookup resolves a registered construction by name.
+func Lookup(name string) (Decomposer, error) {
+	mu.RLock()
+	f, ok := factories[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownAlgorithm, name, Algorithms())
+	}
+	return f(), nil
+}
+
+// Algorithms returns the registered names ordered by Info.Order, then name.
+func Algorithms() []string {
+	all := Infos()
+	names := make([]string, len(all))
+	for i, info := range all {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// Infos returns the metadata of every registered construction ordered by
+// Info.Order, then name.
+func Infos() []Info {
+	mu.RLock()
+	out := make([]Info, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, info)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

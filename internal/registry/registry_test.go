@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"strongdecomp/internal/graph"
+)
+
+func TestCtxErr(t *testing.T) {
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live context reported %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context reported %v", err)
+	}
+}
+
+func TestRunOptionsNormalized(t *testing.T) {
+	var nilOpts *RunOptions
+	o := nilOpts.Normalized()
+	if o.Seed != 0 || o.Meter != nil || o.Nodes != nil {
+		t.Fatalf("nil options normalized to %+v", o)
+	}
+	// Every seed passes through verbatim — 0 is a valid, distinct seed.
+	for _, seed := range []int64{0, 9} {
+		if got := (&RunOptions{Seed: seed}).Normalized().Seed; got != seed {
+			t.Fatalf("seed %d normalized to %d", seed, got)
+		}
+	}
+}
+
+func TestInfoFallbacks(t *testing.T) {
+	i := Info{Name: "x", Reference: "ref"}
+	if i.DisplayName() != "x" || i.CarveRef() != "ref" || i.DecompRef() != "ref" {
+		t.Fatalf("fallbacks broken: %+v", i)
+	}
+	i.Display, i.CarveReference, i.DecompReference = "X", "c", "d"
+	if i.DisplayName() != "X" || i.CarveRef() != "c" || i.DecompRef() != "d" {
+		t.Fatalf("overrides broken: %+v", i)
+	}
+}
+
+func TestFuncsNilImplementations(t *testing.T) {
+	f := Funcs{Meta: Info{Name: "partial"}}
+	g := graph.Path(3)
+	if _, err := f.Carve(context.Background(), g, 0.5, nil); err == nil {
+		t.Fatal("nil CarveFunc accepted")
+	}
+	if _, err := f.Decompose(context.Background(), g, nil); err == nil {
+		t.Fatal("nil DecomposeFunc accepted")
+	}
+}
+
+func TestRegisterLifecycle(t *testing.T) {
+	name := "test-lifecycle"
+	if err := Register(name, func() Decomposer { return Funcs{Meta: Info{Name: name}} }); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister(name)
+	if _, err := Lookup(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(name, func() Decomposer { return Funcs{Meta: Info{Name: name}} }); !errors.Is(err, ErrDuplicateAlgorithm) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+	Unregister(name)
+	if _, err := Lookup(name); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("unregistered name still resolves: %v", err)
+	}
+}

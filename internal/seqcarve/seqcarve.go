@@ -17,11 +17,13 @@
 package seqcarve
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
 
@@ -33,6 +35,13 @@ import (
 // coordination to locate the next live minimum-id center, which is what
 // makes this baseline slow when there are many clusters.
 func Carve(g *graph.Graph, nodes []int, m *rounds.Meter) *cluster.Carving {
+	c, _ := CarveContext(context.Background(), g, nodes, m)
+	return c
+}
+
+// CarveContext is Carve with cancellation observed before every emitted
+// ball; a background context never fails.
+func CarveContext(ctx context.Context, g *graph.Graph, nodes []int, m *rounds.Meter) (*cluster.Carving, error) {
 	n := g.N()
 	if nodes == nil {
 		nodes = make([]int, n)
@@ -55,6 +64,9 @@ func Carve(g *graph.Graph, nodes []int, m *rounds.Meter) *cluster.Carving {
 	for _, v := range nodes {
 		if !alive[v] {
 			continue
+		}
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
 		}
 		// v is the minimum-id live node (nodes scanned in increasing order).
 		sizes := graph.NeighborhoodSizes(g, alive, []int{v}, dist)
@@ -79,13 +91,20 @@ func Carve(g *graph.Graph, nodes []int, m *rounds.Meter) *cluster.Carving {
 		m.Charge("seq/ball", int64(rStar)+2)
 		m.Charge("seq/coordinate", diamApprox+1)
 	}
-	return &cluster.Carving{Assign: assign, K: k, Centers: centers}
+	return &cluster.Carving{Assign: assign, K: k, Centers: centers}, nil
 }
 
 // Decompose iterates Carve with color-per-iteration, yielding the
 // sequential-baseline strong-diameter decomposition with <= log₂ n + 1
 // colors and diameter <= 2 log₂ n.
 func Decompose(g *graph.Graph, m *rounds.Meter) *cluster.Decomposition {
+	d, _ := DecomposeContext(context.Background(), g, m)
+	return d
+}
+
+// DecomposeContext is Decompose with cancellation observed inside every
+// carving iteration; a background context never fails.
+func DecomposeContext(ctx context.Context, g *graph.Graph, m *rounds.Meter) (*cluster.Decomposition, error) {
 	n := g.N()
 	assign := make([]int, n)
 	for i := range assign {
@@ -101,7 +120,10 @@ func Decompose(g *graph.Graph, m *rounds.Meter) *cluster.Decomposition {
 		remaining[i] = i
 	}
 	for iter := 0; len(remaining) > 0; iter++ {
-		c := Carve(g, remaining, m)
+		c, err := CarveContext(ctx, g, remaining, m)
+		if err != nil {
+			return nil, err
+		}
 		for i, members := range c.Members() {
 			for _, v := range members {
 				assign[v] = k
@@ -124,7 +146,7 @@ func Decompose(g *graph.Graph, m *rounds.Meter) *cluster.Decomposition {
 			colors = col + 1
 		}
 	}
-	return &cluster.Decomposition{Assign: assign, Color: color, K: k, Colors: colors, Centers: centers}
+	return &cluster.Decomposition{Assign: assign, Color: color, K: k, Colors: colors, Centers: centers}, nil
 }
 
 // ABCPStats reports the message-size behavior of the ABCP96 transformation.

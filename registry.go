@@ -1,0 +1,68 @@
+package strongdecomp
+
+// This file is the public face of the algorithm registry: the Decomposer
+// interface, RunOptions, the typed errors, and the Register/Lookup/
+// Algorithms dispatch functions. The in-tree constructions self-register at
+// init time; external packages extend the system the same way:
+//
+//	strongdecomp.Register("my-padded", func() strongdecomp.Decomposer {
+//		return myPaddedDecomposer{}
+//	})
+//	d, _ := strongdecomp.Lookup("my-padded")
+//	dec, _ := d.Decompose(ctx, g, &strongdecomp.RunOptions{Seed: 7})
+
+import (
+	"strongdecomp/internal/registry"
+)
+
+// Decomposer is a registered construction: a context-aware ball carving and
+// network decomposition over a host graph. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type Decomposer = registry.Decomposer
+
+// RunOptions carries per-run parameters (seed, meter, node restriction).
+// A nil *RunOptions is valid and means defaults.
+type RunOptions = registry.RunOptions
+
+// AlgorithmInfo describes a registered construction: identity, citation,
+// model, and the paper-stated bounds printed by the benchmark tables.
+type AlgorithmInfo = registry.Info
+
+// Factory builds a Decomposer; Lookup invokes it on every resolution.
+type Factory = registry.Factory
+
+// DecomposerFuncs adapts plain carve/decompose functions to the Decomposer
+// interface — the easiest way to register a new construction.
+type DecomposerFuncs = registry.Funcs
+
+// Typed errors returned by the registry and by canceled runs.
+var (
+	// ErrUnknownAlgorithm is returned when a name (or legacy Algorithm
+	// value) resolves to no registered construction.
+	ErrUnknownAlgorithm = registry.ErrUnknownAlgorithm
+	// ErrCanceled matches errors returned by runs that observed context
+	// cancellation or a deadline; the underlying ctx.Err() also matches.
+	ErrCanceled = registry.ErrCanceled
+	// ErrDuplicateAlgorithm is returned by Register on a name collision.
+	ErrDuplicateAlgorithm = registry.ErrDuplicateAlgorithm
+)
+
+// Register adds a construction to the registry under name. Registered
+// constructions are reachable from BallCarve/Decompose via
+// WithAlgorithmName, from Lookup, from the Engine, and from the cmd tools'
+// -algo flags.
+func Register(name string, factory Factory) error { return registry.Register(name, factory) }
+
+// Unregister removes a registered construction; intended for tests.
+func Unregister(name string) { registry.Unregister(name) }
+
+// Lookup resolves a registered construction by name; the error matches
+// ErrUnknownAlgorithm when the name is unknown.
+func Lookup(name string) (Decomposer, error) { return registry.Lookup(name) }
+
+// Algorithms lists the registered construction names in presentation order.
+func Algorithms() []string { return registry.Algorithms() }
+
+// AlgorithmInfos lists the metadata of every registered construction in
+// presentation order.
+func AlgorithmInfos() []AlgorithmInfo { return registry.Infos() }

@@ -15,7 +15,12 @@
 // Both default to the paper's deterministic algorithms and can be switched
 // to the classical randomized or sequential baselines via options, which is
 // what the benchmark harness uses to regenerate the paper's comparison
-// tables. See DESIGN.md and EXPERIMENTS.md for the experiment index.
+// tables. Under the hood every construction is a named entry in a pluggable
+// algorithm registry (Register, Lookup, Algorithms) exposing context-aware
+// Carve/Decompose methods, and the Engine type runs registered
+// constructions over a worker pool with per-component parallelism, batching,
+// and cancellation. See DESIGN.md for the architecture and EXPERIMENTS.md
+// for the experiment index.
 //
 // A minimal example:
 //
@@ -27,16 +32,20 @@
 package strongdecomp
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"strongdecomp/internal/cluster"
-	"strongdecomp/internal/core"
 	"strongdecomp/internal/graph"
-	"strongdecomp/internal/ls"
-	"strongdecomp/internal/mpx"
 	"strongdecomp/internal/rounds"
-	"strongdecomp/internal/seqcarve"
+
+	// The algorithm packages self-register their constructions with the
+	// registry at init time; the blank imports make every construction
+	// reachable through Lookup as soon as this package is imported.
+	_ "strongdecomp/internal/core"
+	_ "strongdecomp/internal/ls"
+	_ "strongdecomp/internal/mpx"
+	_ "strongdecomp/internal/seqcarve"
 )
 
 // Re-exported result and bookkeeping types. Graph values are constructed
@@ -56,7 +65,11 @@ type (
 // Unclustered marks removed nodes in a Carving's Assign slice.
 const Unclustered = cluster.Unclustered
 
-// Algorithm selects which construction BallCarve and Decompose run.
+// Algorithm selects which construction BallCarve and Decompose run. It is
+// the legacy enum-shaped selector: each value maps to a registry name, and
+// the facade resolves it through Lookup. New constructions registered via
+// Register need no Algorithm value — select them by name with
+// WithAlgorithmName or drive them directly through Lookup.
 type Algorithm int
 
 const (
@@ -76,28 +89,32 @@ const (
 	Sequential
 )
 
+// algorithmNames maps the legacy enum values to registry names.
+var algorithmNames = map[Algorithm]string{
+	ChangGhaffari:         "chang-ghaffari",
+	ChangGhaffariImproved: "chang-ghaffari-improved",
+	MPX:                   "mpx",
+	LinialSaks:            "linial-saks",
+	Sequential:            "sequential",
+}
+
 func (a Algorithm) String() string {
-	switch a {
-	case ChangGhaffari:
-		return "chang-ghaffari"
-	case ChangGhaffariImproved:
-		return "chang-ghaffari-improved"
-	case MPX:
-		return "mpx"
-	case LinialSaks:
-		return "linial-saks"
-	case Sequential:
-		return "sequential"
-	default:
-		return fmt.Sprintf("algorithm(%d)", int(a))
+	if name, ok := algorithmNames[a]; ok {
+		return name
 	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
 type options struct {
-	algo  Algorithm
+	algo  string
 	seed  int64
 	meter *rounds.Meter
 	nodes []int
+}
+
+// runOptions converts the collected facade options to registry RunOptions.
+func (o options) runOptions() *RunOptions {
+	return &RunOptions{Seed: o.seed, Meter: o.meter, Nodes: o.nodes}
 }
 
 // Option configures BallCarve and Decompose.
@@ -107,10 +124,19 @@ type Option interface {
 
 type algoOption Algorithm
 
-func (a algoOption) apply(o *options) { o.algo = Algorithm(a) }
+func (a algoOption) apply(o *options) { o.algo = Algorithm(a).String() }
 
 // WithAlgorithm selects the construction (default ChangGhaffari).
 func WithAlgorithm(a Algorithm) Option { return algoOption(a) }
+
+type algoNameOption string
+
+func (a algoNameOption) apply(o *options) { o.algo = string(a) }
+
+// WithAlgorithmName selects the construction by registry name, reaching
+// every registered construction — including ones added via Register that
+// have no Algorithm enum value. See Algorithms for the available names.
+func WithAlgorithmName(name string) Option { return algoNameOption(name) }
 
 type seedOption int64
 
@@ -135,7 +161,7 @@ func (ns nodesOption) apply(o *options) { o.nodes = ns }
 func WithNodes(nodes []int) Option { return nodesOption(nodes) }
 
 func buildOptions(opts []Option) options {
-	o := options{algo: ChangGhaffari, seed: 1}
+	o := options{algo: ChangGhaffari.String(), seed: 1}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
@@ -154,44 +180,41 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) {
 // most an eps fraction of nodes are removed (Assign == Unclustered) and the
 // remaining clusters are pairwise non-adjacent with small diameter. The
 // default algorithm is the paper's deterministic Theorem 2.2 construction.
+// It is a thin shim over the algorithm registry: the selected construction
+// is resolved with Lookup and run with a background context.
 func BallCarve(g *Graph, eps float64, opts ...Option) (*Carving, error) {
+	return BallCarveContext(context.Background(), g, eps, opts...)
+}
+
+// BallCarveContext is BallCarve with cancellation and deadline support; a
+// canceled run returns an error matching ErrCanceled.
+func BallCarveContext(ctx context.Context, g *Graph, eps float64, opts ...Option) (*Carving, error) {
 	o := buildOptions(opts)
-	switch o.algo {
-	case ChangGhaffari:
-		return core.CarveRG(g, o.nodes, eps, o.meter)
-	case ChangGhaffariImproved:
-		return core.CarveImproved(g, o.nodes, eps, o.meter)
-	case MPX:
-		return mpx.Carve(g, o.nodes, eps, rand.New(rand.NewSource(o.seed)), o.meter)
-	case LinialSaks:
-		return ls.Carve(g, o.nodes, eps, rand.New(rand.NewSource(o.seed)), o.meter)
-	case Sequential:
-		return seqcarve.Carve(g, o.nodes, o.meter), nil
-	default:
-		return nil, fmt.Errorf("strongdecomp: unknown algorithm %v", o.algo)
+	d, err := Lookup(o.algo)
+	if err != nil {
+		return nil, err
 	}
+	return d.Carve(ctx, g, eps, o.runOptions())
 }
 
 // Decompose computes a network decomposition of g: every node is assigned
 // to a cluster, clusters are colored, and same-color clusters are
 // non-adjacent. The default is the paper's deterministic Theorem 2.3
-// construction with O(log n) colors and strong-diameter clusters.
+// construction with O(log n) colors and strong-diameter clusters. It is a
+// thin shim over the algorithm registry, like BallCarve.
 func Decompose(g *Graph, opts ...Option) (*Decomposition, error) {
+	return DecomposeContext(context.Background(), g, opts...)
+}
+
+// DecomposeContext is Decompose with cancellation and deadline support; a
+// canceled run returns an error matching ErrCanceled.
+func DecomposeContext(ctx context.Context, g *Graph, opts ...Option) (*Decomposition, error) {
 	o := buildOptions(opts)
-	switch o.algo {
-	case ChangGhaffari:
-		return core.DecomposeRG(g, o.meter)
-	case ChangGhaffariImproved:
-		return core.DecomposeImproved(g, o.meter)
-	case MPX:
-		return mpx.Decompose(g, rand.New(rand.NewSource(o.seed)), o.meter)
-	case LinialSaks:
-		return ls.Decompose(g, rand.New(rand.NewSource(o.seed)), o.meter)
-	case Sequential:
-		return seqcarve.Decompose(g, o.meter), nil
-	default:
-		return nil, fmt.Errorf("strongdecomp: unknown algorithm %v", o.algo)
+	d, err := Lookup(o.algo)
+	if err != nil {
+		return nil, err
 	}
+	return d.Decompose(ctx, g, o.runOptions())
 }
 
 // VerifyCarving checks the defining properties of a ball carving: dead
