@@ -1,13 +1,18 @@
 // Command decompose runs a decomposition or ball carving on a generated
-// graph and emits the result as JSON (graph, assignment, colors, stats),
-// suitable for piping into cmd/verify.
+// graph — or a real graph file — and emits the result as JSON (graph,
+// assignment, colors, stats), suitable for piping into cmd/verify.
 //
 // The -algo flag accepts any name in the algorithm registry (see
-// -list-algos); -timeout bounds the run via context cancellation.
+// -list-algos); -timeout bounds the run via context cancellation. With
+// -input the graph is read from a file (edge list, METIS, or JSON,
+// detected by extension) instead of a generator; -omit-edges drops the
+// edge list from the output document for large graphs (pair it with
+// verify -input so the verifier reloads the graph from the same file).
 //
 // Usage:
 //
 //	decompose -gen gnp -n 1024 -algo chang-ghaffari [-carve] [-eps 0.5] [-seed 1] [-timeout 30s]
+//	decompose -input web.metis -algo mpx [-omit-edges]
 package main
 
 import (
@@ -24,17 +29,22 @@ import (
 
 // Result is the JSON document exchanged between decompose and verify.
 type Result struct {
-	N      int      `json:"n"`
-	Edges  [][2]int `json:"edges"`
-	Mode   string   `json:"mode"` // "carve" or "decompose"
-	Eps    float64  `json:"eps,omitempty"`
-	Algo   string   `json:"algo"`
-	Seed   int64    `json:"seed"`
-	Assign []int    `json:"assign"`
-	Color  []int    `json:"color,omitempty"`
-	K      int      `json:"k"`
-	Colors int      `json:"colors,omitempty"`
-	Rounds int64    `json:"rounds"`
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges,omitempty"`
+	// EdgesOmitted distinguishes a document produced with -omit-edges
+	// (verify needs -input) from one whose graph genuinely has no edges.
+	EdgesOmitted bool    `json:"edgesOmitted,omitempty"`
+	Source       string  `json:"source,omitempty"` // graph file, when -input was used
+	Hash         string  `json:"hash,omitempty"`   // content hash of the graph
+	Mode         string  `json:"mode"`             // "carve" or "decompose"
+	Eps          float64 `json:"eps,omitempty"`
+	Algo         string  `json:"algo"`
+	Seed         int64   `json:"seed"`
+	Assign       []int   `json:"assign"`
+	Color        []int   `json:"color,omitempty"`
+	K            int     `json:"k"`
+	Colors       int     `json:"colors,omitempty"`
+	Rounds       int64   `json:"rounds"`
 }
 
 func main() {
@@ -48,6 +58,8 @@ func run() error {
 	var (
 		gen       = flag.String("gen", "gnp", "graph family: gnp|grid|path|tree|expander|subdivided|clusters|torus|hypercube")
 		n         = flag.Int("n", 1024, "approximate node count")
+		input     = flag.String("input", "", "read the graph from this file (.el/.edges/.txt, .metis/.graph, .json) instead of -gen")
+		omitEdges = flag.Bool("omit-edges", false, "omit the edge list from the output document (verify needs -input then)")
 		algo      = flag.String("algo", "chang-ghaffari", "registered algorithm: "+strings.Join(strongdecomp.Algorithms(), "|"))
 		carve     = flag.Bool("carve", false, "run a ball carving instead of a full decomposition")
 		eps       = flag.Float64("eps", 0.5, "carving boundary parameter")
@@ -60,6 +72,11 @@ func run() error {
 	if *listAlgos {
 		return printAlgorithms(os.Stdout)
 	}
+	if *omitEdges && *input == "" {
+		// A generated graph exists nowhere but in this document; omitting
+		// its edges would make the output unverifiable.
+		return fmt.Errorf("-omit-edges requires -input (verify reloads the graph from that file)")
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -68,7 +85,15 @@ func run() error {
 		defer cancel()
 	}
 
-	g, err := makeGraph(*gen, *n, *seed)
+	var (
+		g   *strongdecomp.Graph
+		err error
+	)
+	if *input != "" {
+		g, err = strongdecomp.LoadGraph(*input)
+	} else {
+		g, err = makeGraph(*gen, *n, *seed)
+	}
 	if err != nil {
 		return err
 	}
@@ -78,7 +103,15 @@ func run() error {
 	}
 	meter := strongdecomp.NewMeter()
 	opts := &strongdecomp.RunOptions{Seed: *seed, Meter: meter}
-	res := Result{N: g.N(), Edges: g.Edges(), Algo: d.Info().Name, Seed: *seed}
+	res := Result{
+		N: g.N(), Source: *input, Hash: strongdecomp.HashGraph(g),
+		Algo: d.Info().Name, Seed: *seed,
+	}
+	if *omitEdges {
+		res.EdgesOmitted = true
+	} else {
+		res.Edges = g.Edges()
+	}
 
 	if *carve {
 		c, err := d.Carve(ctx, g, *eps, opts)

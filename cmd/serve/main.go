@@ -1,0 +1,97 @@
+// Command serve runs the decomposition service as an HTTP server: the
+// algorithm registry behind a content-addressed result cache with
+// in-flight request deduplication, per-algorithm metrics, and graceful
+// shutdown on SIGINT/SIGTERM.
+//
+// Endpoints (see internal/service/httpapi):
+//
+//	GET  /healthz        liveness
+//	GET  /metrics        service + engine counters
+//	GET  /v1/algorithms  registered constructions
+//	POST /v1/graphs      upload a graph (?format=edgelist|metis|json)
+//	POST /v1/decompose   {"graph": {...} | "hash": "...", "algo": "...", "seed": 1}
+//	POST /v1/carve       same, plus "eps"
+//
+// Usage:
+//
+//	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"strongdecomp"
+	"strongdecomp/internal/service/httpapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		algo    = flag.String("algo", "chang-ghaffari", "default algorithm for requests that name none: "+strings.Join(strongdecomp.Algorithms(), "|"))
+		workers = flag.Int("workers", 0, "engine worker-pool size (0: GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "result-cache entries (negative: disable caching)")
+		graphs  = flag.Int("graphs", 128, "uploaded-graph store entries")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0: none)")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	if _, err := strongdecomp.Lookup(*algo); err != nil {
+		return err
+	}
+	svc := strongdecomp.NewService(
+		strongdecomp.WithServiceAlgorithm(*algo),
+		strongdecomp.WithServiceWorkers(*workers),
+		strongdecomp.WithServiceCacheSize(*cache),
+		strongdecomp.WithServiceGraphStore(*graphs),
+		strongdecomp.WithServiceTimeout(*timeout),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serve: listening on %s (default algorithm %s, cache %d, timeout %s)",
+		*addr, *algo, *cache, *timeout)
+
+	select {
+	case err := <-errc:
+		return err // immediate listen failure; never ErrServerClosed here
+	case <-ctx.Done():
+	}
+
+	log.Printf("serve: signal received, draining for up to %s", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("serve: drained, bye")
+	return nil
+}

@@ -30,7 +30,7 @@ func main() {
 func run() error {
 	var (
 		n         = flag.Int("n", 1024, "workload size for the tables")
-		family    = flag.String("family", "cycle", "workload family: cycle|path|gnp|grid|subdivided")
+		family    = flag.String("family", "cycle", "workload family (cycle|path|gnp|grid|subdivided) or a graph file: file:<path> / <path>.el|.metis|.json")
 		eps       = flag.Float64("eps", 0.5, "boundary parameter for Table 2")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		scaling   = flag.Bool("scaling", false, "also run the n-sweep scaling figures (slower)")

@@ -8,9 +8,16 @@
 // construction is deterministic given its seed, so the reproduced
 // assignment must match the document exactly.
 //
+// With -input the host graph is loaded from a file (edge list, METIS, or
+// JSON, detected by extension) instead of the document's embedded edge
+// list — the file-based twin of decompose -input, and the only way to
+// verify documents produced with -omit-edges. When the document does embed
+// a graph, the file must match it (same node count and content hash).
+//
 // Usage:
 //
 //	decompose -gen grid -n 400 | verify [-eps 0.5] [-max-diam -1] [-rerun]
+//	decompose -input web.metis -omit-edges | verify -input web.metis
 package main
 
 import (
@@ -26,16 +33,18 @@ import (
 )
 
 type document struct {
-	N      int      `json:"n"`
-	Edges  [][2]int `json:"edges"`
-	Mode   string   `json:"mode"`
-	Eps    float64  `json:"eps"`
-	Algo   string   `json:"algo"`
-	Seed   int64    `json:"seed"`
-	Assign []int    `json:"assign"`
-	Color  []int    `json:"color"`
-	K      int      `json:"k"`
-	Colors int      `json:"colors"`
+	N            int      `json:"n"`
+	Edges        [][2]int `json:"edges"`
+	EdgesOmitted bool     `json:"edgesOmitted"`
+	Hash         string   `json:"hash"`
+	Mode         string   `json:"mode"`
+	Eps          float64  `json:"eps"`
+	Algo         string   `json:"algo"`
+	Seed         int64    `json:"seed"`
+	Assign       []int    `json:"assign"`
+	Color        []int    `json:"color"`
+	K            int      `json:"k"`
+	Colors       int      `json:"colors"`
 }
 
 func main() {
@@ -51,6 +60,7 @@ func run() error {
 		maxDiam   = flag.Int("max-diam", -1, "optional strong-diameter bound to enforce (-1: skip)")
 		strong    = flag.Bool("strong", true, "measure diameters in the induced subgraph")
 		rerun     = flag.Bool("rerun", false, "re-execute the document's registered algorithm with its seed and demand an identical result")
+		input     = flag.String("input", "", "load the host graph from this file instead of the document's edge list")
 		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()
@@ -64,9 +74,9 @@ func run() error {
 	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
 		return fmt.Errorf("decode input: %w", err)
 	}
-	g, err := strongdecomp.NewGraph(doc.N, doc.Edges)
+	g, err := hostGraph(&doc, *input)
 	if err != nil {
-		return fmt.Errorf("rebuild graph: %w", err)
+		return err
 	}
 	switch doc.Mode {
 	case "carve":
@@ -90,6 +100,47 @@ func run() error {
 		return rerunCheck(g, &doc)
 	}
 	return nil
+}
+
+// hostGraph materializes the graph the document's result lives on: from
+// the graph file when -input is given (cross-checked against whatever the
+// document recorded — node count and content hash), otherwise from the
+// embedded edge list.
+func hostGraph(doc *document, input string) (*strongdecomp.Graph, error) {
+	if input == "" {
+		if doc.EdgesOmitted {
+			return nil, fmt.Errorf("document was produced with decompose -omit-edges; pass the graph file with -input")
+		}
+		g, err := strongdecomp.NewGraph(doc.N, doc.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild graph: %w", err)
+		}
+		return g, nil
+	}
+	g, err := strongdecomp.LoadGraph(input)
+	if err != nil {
+		return nil, err
+	}
+	if g.N() != doc.N {
+		return nil, fmt.Errorf("graph file has %d nodes, document says %d", g.N(), doc.N)
+	}
+	switch {
+	case doc.Hash != "":
+		if h := strongdecomp.HashGraph(g); h != doc.Hash {
+			return nil, fmt.Errorf("graph file hash %s does not match document hash %s", h, doc.Hash)
+		}
+	case len(doc.Edges) > 0:
+		// Documents from older decompose builds carry no hash; the
+		// embedded edge list still pins the graph exactly.
+		embedded, err := strongdecomp.NewGraph(doc.N, doc.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild embedded graph: %w", err)
+		}
+		if strongdecomp.HashGraph(embedded) != strongdecomp.HashGraph(g) {
+			return nil, fmt.Errorf("graph file does not match the document's embedded edge list")
+		}
+	}
+	return g, nil
 }
 
 // rerunCheck reproduces the document's run through the registry and demands

@@ -33,6 +33,8 @@ type Engine struct {
 	scratch sync.Pool // *engineScratch
 
 	runs        atomic.Int64
+	batches     atomic.Int64
+	merges      atomic.Int64
 	inFlight    atomic.Int64
 	maxParallel atomic.Int64
 }
@@ -83,19 +85,56 @@ func (e *Engine) Algorithm() string { return e.algo }
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// EngineStats reports observed execution counters.
+// EngineStats is a point-in-time snapshot of the engine's execution
+// counters — the observability surface consumed by the serving layer's
+// /metrics endpoint, so external code never reaches into engine internals.
 type EngineStats struct {
+	// Algorithm is the registry name of the construction the engine runs.
+	Algorithm string
+	// Workers is the configured worker-pool size.
+	Workers int
 	// Runs counts construction invocations (per-component runs, whole-graph
 	// runs, and carvings) the engine has executed.
 	Runs int64
+	// Batches counts DecomposeBatch calls.
+	Batches int64
+	// ComponentMerges counts the cache-unfriendly merge passes: runs whose
+	// host graph split into multiple components, requiring per-component
+	// results to be stitched back together.
+	ComponentMerges int64
+	// InFlight is the number of unit tasks executing at snapshot time.
+	InFlight int64
 	// MaxParallel is the highest number of unit tasks observed in flight
 	// simultaneously over the engine's lifetime.
 	MaxParallel int64
 }
 
-// Stats returns the engine's execution counters.
+// Stats returns a snapshot of the engine's execution counters. It is safe
+// to call concurrently with running work; counters are read atomically
+// (individually, not as one consistent cut).
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{Runs: e.runs.Load(), MaxParallel: e.maxParallel.Load()}
+	return EngineStats{
+		Algorithm:       e.algo,
+		Workers:         e.workers,
+		Runs:            e.runs.Load(),
+		Batches:         e.batches.Load(),
+		ComponentMerges: e.merges.Load(),
+		InFlight:        e.inFlight.Load(),
+		MaxParallel:     e.maxParallel.Load(),
+	}
+}
+
+// Counters flattens the snapshot into the name → value form expvar-style
+// metrics endpoints publish.
+func (s EngineStats) Counters() map[string]int64 {
+	return map[string]int64{
+		"workers":          int64(s.Workers),
+		"runs":             s.Runs,
+		"batches":          s.Batches,
+		"component_merges": s.ComponentMerges,
+		"in_flight":        s.InFlight,
+		"max_parallel":     s.MaxParallel,
+	}
 }
 
 // Carve runs the engine's construction as a ball carving. Like Decompose,
@@ -116,6 +155,7 @@ func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOpti
 		e.runs.Add(1)
 		return d.Carve(ctx, g, eps, &o)
 	}
+	e.merges.Add(1)
 
 	pieces := make([]cluster.Piece, len(comps))
 	meters := make([]*rounds.Meter, len(comps))
@@ -153,6 +193,7 @@ func (e *Engine) Decompose(ctx context.Context, g *Graph, opts *RunOptions) (*De
 // returns the results in input order. Graph i runs with seed opts.Seed + i.
 // The first failure (including cancellation) cancels the remaining work.
 func (e *Engine) DecomposeBatch(ctx context.Context, gs []*Graph, opts *RunOptions) ([]*Decomposition, error) {
+	e.batches.Add(1)
 	o := opts.Normalized()
 	out := make([]*Decomposition, len(gs))
 	meters := make([]*rounds.Meter, len(gs))
@@ -205,6 +246,7 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions,
 		e.runs.Add(1)
 		return d.Decompose(ctx, g, &o)
 	}
+	e.merges.Add(1)
 
 	pieces := make([]cluster.Piece, len(comps))
 	meters := make([]*rounds.Meter, len(comps))

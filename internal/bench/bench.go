@@ -9,11 +9,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/congest"
 	"strongdecomp/internal/core"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
 	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rg"
 	"strongdecomp/internal/rounds"
@@ -54,7 +56,15 @@ type Row struct {
 // measurements. Low-diameter families ("gnp", "grid") are also available;
 // on those every polylog algorithm legitimately returns near-whole-graph
 // clusters.
+//
+// A family of the form "file:<path>" — or a bare path with a recognized
+// graphio extension — loads a real graph file instead, so the whole table
+// harness runs unchanged against external workloads (n and seed are
+// ignored for files).
 func Workload(family string, n int, seed int64) (*graph.Graph, error) {
+	if path, ok := fileFamily(family); ok {
+		return graphio.Load(path)
+	}
 	switch family {
 	case "", "cycle":
 		return graph.Cycle(n), nil
@@ -73,6 +83,19 @@ func Workload(family string, n int, seed int64) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("bench: unknown workload family %q", family)
 	}
+}
+
+// fileFamily reports whether a workload family names a graph file: either
+// the explicit "file:<path>" form or a bare path with a recognized graphio
+// extension.
+func fileFamily(family string) (string, bool) {
+	if path, ok := strings.CutPrefix(family, "file:"); ok {
+		return path, true
+	}
+	if _, err := graphio.DetectFormat(family); err == nil {
+		return family, true
+	}
+	return "", false
 }
 
 // selected builds the per-name filter for an optional `only` list; nil or
@@ -127,7 +150,7 @@ func Table1(family string, n int, seed int64, only ...string) ([]Row, error) {
 		out = append(out, Row{
 			Table: "table1", Type: info.Diameter, Model: info.Model,
 			Algorithm: info.DisplayName(), Reference: info.DecompRef(),
-			N: n, Colors: d.Colors,
+			N: g.N(), Colors: d.Colors,
 			StrongDiam: cluster.MaxStrongDiameter(g, members),
 			WeakDiam:   cluster.MaxWeakDiameter(g, members),
 			Rounds:     m.Rounds(), Clusters: d.K,
@@ -172,7 +195,7 @@ func Table2(family string, n int, eps float64, seed int64, only ...string) ([]Ro
 		out = append(out, Row{
 			Table: "table2", Type: info.Diameter, Model: info.Model,
 			Algorithm: info.DisplayName(), Reference: info.CarveRef(),
-			N: n, Eps: eps,
+			N: g.N(), Eps: eps,
 			StrongDiam: cluster.MaxStrongDiameter(g, members),
 			WeakDiam:   cluster.MaxWeakDiameter(g, members),
 			Rounds:     m.Rounds(), DeadFrac: c.DeadFraction(nil), Clusters: c.K,
@@ -407,8 +430,13 @@ type ScalingPoint struct {
 
 // Scaling sweeps n over the given sizes for every decomposition algorithm
 // (or the optional `only` subset) and returns the series of (rounds,
-// diameter, colors) measurements.
+// diameter, colors) measurements. File-backed workloads are rejected: a
+// file pins the graph, so a size sweep would measure the same point
+// repeatedly and the fitted log-exponent would be undefined.
 func Scaling(family string, ns []int, seed int64, only ...string) ([]ScalingPoint, error) {
+	if _, ok := fileFamily(family); ok {
+		return nil, fmt.Errorf("bench: scaling needs a generated family that varies with n; %q is a fixed graph file", family)
+	}
 	var out []ScalingPoint
 	for _, n := range ns {
 		rows, err := Table1(family, n, seed, only...)

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"math"
+	"path/filepath"
 	"testing"
 
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
 )
 
 type workloadGraph = graph.Graph
@@ -181,6 +183,40 @@ func TestWorkloadFamilies(t *testing.T) {
 	}
 	if _, err := Workload("nope", 10, 1); err == nil {
 		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestWorkloadFromFile pins the file-backed workload path: the harness
+// benches real graph files through the same entry point as the synthetic
+// families, via both the "file:" prefix and a bare recognized path.
+func TestWorkloadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.metis")
+	want := graph.Cycle(64)
+	if err := graphio.Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"file:" + path, path} {
+		g := mustWorkload(t, family, 0, 0)
+		if g.N() != want.N() || g.M() != want.M() {
+			t.Fatalf("family %q: loaded n=%d m=%d, want n=%d m=%d", family, g.N(), g.M(), want.N(), want.M())
+		}
+	}
+	if _, err := Workload("file:"+filepath.Join(t.TempDir(), "missing.el"), 0, 0); err == nil {
+		t.Fatal("missing workload file accepted")
+	}
+
+	// The full Table 1 harness runs against a file workload.
+	rows, err := Table1("file:"+path, 0, 1, "sequential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].N != 64 || rows[0].Clusters == 0 {
+		t.Fatalf("file-backed Table1 rows: %+v", rows)
+	}
+
+	// A size sweep over a fixed file is meaningless and must be rejected.
+	if _, err := Scaling("file:"+path, []int{64, 128}, 1, "sequential"); err == nil {
+		t.Fatal("Scaling accepted a fixed graph file")
 	}
 }
 

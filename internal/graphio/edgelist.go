@@ -1,0 +1,137 @@
+package graphio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"strongdecomp/internal/graph"
+)
+
+// ReadEdgeList parses a whitespace edge list: one "u v" pair per line with
+// 0-based node ids. Blank lines are skipped; lines starting with '#' or '%'
+// are comments, except the directive "# n <count>", which pins the node
+// count so graphs with trailing isolated nodes round-trip. Without the
+// directive the node count is max(endpoint)+1. Duplicate edges and swapped
+// orientations are canonicalized away by the graph builder.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := lineScanner(r)
+	var edges [][2]int
+	n := 0        // running node-count lower bound: max endpoint + 1
+	declared := 0 // "# n <count>" directive, 0 if absent
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '#' || text[0] == '%' {
+			if d, ok, err := edgeListDirective(text); err != nil {
+				return nil, fmt.Errorf("edgelist line %d: %w", line, err)
+			} else if ok {
+				declared = d
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("edgelist line %d: want 2 fields \"u v\", got %d", line, len(fields))
+		}
+		u, err := parseNode(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %w", line, err)
+		}
+		v, err := parseNode(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %w", line, err)
+		}
+		if u == v {
+			return nil, fmt.Errorf("edgelist line %d: self-loop at node %d", line, u)
+		}
+		if u >= n {
+			n = u + 1
+		}
+		if v >= n {
+			n = v + 1
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edgelist: %w", err)
+	}
+	if declared > 0 {
+		if declared < n {
+			return nil, fmt.Errorf("edgelist: directive declares %d nodes but edges reference node %d", declared, n-1)
+		}
+		n = declared
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// edgeListDirective recognizes "# n <count>" (or "% n <count>") and returns
+// the declared node count.
+func edgeListDirective(text string) (int, bool, error) {
+	fields := strings.Fields(text[1:])
+	if len(fields) != 2 || fields[0] != "n" {
+		return 0, false, nil // ordinary comment
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("bad node-count directive %q", text)
+	}
+	if n > MaxNodes {
+		return 0, false, fmt.Errorf("declared %d nodes exceeds limit %d", n, MaxNodes)
+	}
+	return n, true, nil
+}
+
+// parseNode parses a 0-based node id, enforcing the MaxNodes cap.
+func parseNode(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative node id %d", v)
+	}
+	if v >= MaxNodes {
+		return 0, fmt.Errorf("node id %d exceeds limit %d", v, MaxNodes)
+	}
+	return v, nil
+}
+
+// WriteEdgeList serializes g as a whitespace edge list, emitting the
+// "# n <count>" directive first so node count survives isolated nodes.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	if g == nil {
+		return errors.New("edgelist: nil graph")
+	}
+	bw := newErrWriter(w)
+	bw.printf("# n %d\n", g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				bw.printf("%d %d\n", u, v)
+			}
+		}
+	}
+	return bw.err
+}
+
+// errWriter folds write errors so serialization loops stay branch-free.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,68 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEdgeList asserts the parser's crash-safety contract: arbitrary bytes
+// either parse into a valid graph or return an error — never a panic — and
+// an accepted input survives a write/read round trip with an identical
+// content hash.
+func FuzzEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# n 6\n0 1\n4 5\n"))
+	f.Add([]byte("# comment\n% comment\n\n10 11\n"))
+	f.Add([]byte("0 1 2\n"))
+	f.Add([]byte("-3 7\n"))
+	f.Add([]byte("99999999999999999999 1\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write of parsed graph failed: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written graph failed: %v", err)
+		}
+		if Hash(g) != Hash(back) {
+			t.Fatal("hash changed across round trip")
+		}
+	})
+}
+
+// FuzzMETIS is the METIS-format twin of FuzzEdgeList.
+func FuzzMETIS(f *testing.F) {
+	f.Add([]byte("3 2\n2\n1 3\n2\n"))
+	f.Add([]byte("% c\n4 2\n2\n1 3\n2\n\n"))
+	f.Add([]byte("2 1 0\n2\n1\n"))
+	f.Add([]byte("3 9\n2\n1\n\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("1\n"))
+	f.Add([]byte("2 1\n0\n1\n"))
+	f.Add([]byte("99999999999999999999 0\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadMETIS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			t.Fatalf("write of parsed graph failed: %v", err)
+		}
+		back, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written graph failed: %v", err)
+		}
+		if Hash(g) != Hash(back) {
+			t.Fatal("hash changed across round trip")
+		}
+	})
+}

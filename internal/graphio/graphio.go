@@ -1,0 +1,175 @@
+// Package graphio moves graphs between bytes and graph.Graph: streaming
+// parsers and writers for the three interchange formats the serving layer
+// accepts (whitespace edge list, METIS adjacency, and a JSON graph
+// document), extension-based format detection, and a stable content hash
+// over the canonicalized edge set.
+//
+// Every reader is defensive: malformed input returns an error, never a
+// panic, and declared sizes are capped (MaxNodes) so adversarial headers
+// cannot force pathological allocations. Readers stream line by line and
+// feed edges straight into a graph.Builder — no intermediate adjacency
+// maps are materialized.
+//
+// The content hash is the cache identity of a graph in the serving layer:
+// two byte streams that decode to the same simple graph (same node count,
+// same edge set) hash identically regardless of format, edge order, edge
+// duplication, or endpoint orientation, because hashing happens after the
+// Builder canonicalizes.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"strongdecomp/internal/graph"
+)
+
+// Format identifies a supported graph interchange format.
+type Format int
+
+const (
+	// FormatUnknown is the zero Format; Load/Save reject it.
+	FormatUnknown Format = iota
+	// FormatEdgeList is a whitespace edge list: one "u v" pair per line,
+	// '#' and '%' comments, and an optional "# n <count>" directive that
+	// pins the node count (needed to round-trip trailing isolated nodes).
+	FormatEdgeList
+	// FormatMETIS is the METIS/Chaco adjacency format: an "n m" header
+	// followed by one 1-indexed neighbor line per node; '%' comments.
+	FormatMETIS
+	// FormatJSON is the JSON graph document {"n": ..., "edges": [[u,v], ...]}.
+	FormatJSON
+)
+
+// MaxNodes caps the node count any parser accepts. Inputs declaring more
+// nodes fail with an error instead of attempting the allocation; the cap
+// exists so a handful of adversarial header bytes cannot demand gigabytes.
+const MaxNodes = 1 << 24
+
+// maxLineBytes bounds a single input line (METIS adjacency rows of dense
+// graphs are long; anything beyond this is rejected, not buffered).
+const maxLineBytes = 64 << 20
+
+func (f Format) String() string {
+	switch f {
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatMETIS:
+		return "metis"
+	case FormatJSON:
+		return "json"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFormat resolves a format name ("edgelist", "metis", "json") as used
+// by query parameters and CLI flags.
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "edgelist", "edge-list", "el", "edges":
+		return FormatEdgeList, nil
+	case "metis", "graph", "chaco":
+		return FormatMETIS, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return FormatUnknown, fmt.Errorf("graphio: unknown format %q (want edgelist|metis|json)", name)
+	}
+}
+
+// DetectFormat infers the format from a file path's extension:
+// .el/.edges/.edgelist/.txt → edge list, .metis/.graph → METIS,
+// .json → JSON.
+func DetectFormat(path string) (Format, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".el", ".edges", ".edgelist", ".txt":
+		return FormatEdgeList, nil
+	case ".metis", ".graph":
+		return FormatMETIS, nil
+	case ".json":
+		return FormatJSON, nil
+	default:
+		return FormatUnknown, fmt.Errorf("graphio: cannot detect format of %q (known extensions: .el .edges .edgelist .txt .metis .graph .json)", path)
+	}
+}
+
+// Read parses a graph from r in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case FormatEdgeList:
+		return ReadEdgeList(r)
+	case FormatMETIS:
+		return ReadMETIS(r)
+	case FormatJSON:
+		return ReadJSON(r)
+	default:
+		return nil, fmt.Errorf("graphio: cannot read format %v", f)
+	}
+}
+
+// Write serializes g to w in the given format.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	switch f {
+	case FormatEdgeList:
+		return WriteEdgeList(w, g)
+	case FormatMETIS:
+		return WriteMETIS(w, g)
+	case FormatJSON:
+		return WriteJSON(w, g)
+	default:
+		return fmt.Errorf("graphio: cannot write format %v", f)
+	}
+}
+
+// Load reads the graph file at path, detecting the format from the
+// extension.
+func Load(path string) (*graph.Graph, error) {
+	f, err := DetectFormat(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	defer file.Close()
+	g, err := Read(bufio.NewReader(file), f)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Save writes g to path in the format detected from the extension.
+func Save(path string, g *graph.Graph) error {
+	f, err := DetectFormat(path)
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graphio: %w", err)
+	}
+	w := bufio.NewWriter(file)
+	if err := Write(w, g, f); err != nil {
+		file.Close()
+		return fmt.Errorf("graphio: %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return fmt.Errorf("graphio: %s: %w", path, err)
+	}
+	return file.Close()
+}
+
+// lineScanner returns a line scanner with the package's buffer bounds.
+func lineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return sc
+}

@@ -1,0 +1,216 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strongdecomp/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"g.el": FormatEdgeList, "g.edges": FormatEdgeList,
+		"g.edgelist": FormatEdgeList, "g.txt": FormatEdgeList,
+		"g.metis": FormatMETIS, "g.graph": FormatMETIS,
+		"g.json": FormatJSON, "G.JSON": FormatJSON,
+	}
+	for path, want := range cases {
+		got, err := DetectFormat(path)
+		if err != nil || got != want {
+			t.Errorf("DetectFormat(%q) = %v, %v; want %v", path, got, err, want)
+		}
+	}
+	if _, err := DetectFormat("g.bin"); err == nil {
+		t.Error("DetectFormat accepted unknown extension")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]Format{
+		"edgelist": FormatEdgeList, "METIS": FormatMETIS, "json": FormatJSON,
+	} {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("hdf5"); err == nil {
+		t.Error("ParseFormat accepted unknown name")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := "# a comment\n% another\n\n0 1\n2 1\n1   2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("missing edges after parse")
+	}
+}
+
+func TestReadEdgeListDirective(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# n 5\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 1 {
+		t.Fatalf("got n=%d m=%d, want 5, 1", g.N(), g.M())
+	}
+	if _, err := ReadEdgeList(strings.NewReader("# n 2\n0 4\n")); err == nil {
+		t.Error("directive smaller than max endpoint must error")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"three fields":  "0 1 7\n",
+		"one field":     "3\n",
+		"non-numeric":   "a b\n",
+		"negative":      "-1 2\n",
+		"self loop":     "3 3\n",
+		"huge node":     "0 999999999\n",
+		"bad directive": "# n x\n0 1\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestReadMETIS(t *testing.T) {
+	// Path 0-1-2 plus isolated node 3.
+	in := "% comment\n4 2\n2\n1 3\n2\n\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 4, 2", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.Degree(3) != 0 {
+		t.Fatal("wrong adjacency after parse")
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":             "",
+		"bad header":        "x y\n",
+		"one header field":  "4\n",
+		"weighted":          "2 1 011\n2\n1\n",
+		"missing lines":     "3 2\n2\n",
+		"neighbor range":    "2 1\n3\n1\n",
+		"neighbor zero":     "2 1\n0\n1\n",
+		"self loop":         "2 1\n1\n2\n",
+		"edge count high":   "3 5\n2\n1 3\n2\n",
+		"edge count low":    "3 1\n2\n1 3\n2\n",
+		"asymmetric":        "3 2\n2\n1\n\n",
+		"compensating asym": "4 1\n2\n\n\n3\n", // 0→1 and 3→2: entry count matches 2m but edges don't
+		"repeated neighbor": "3 1\n2 2\n\n\n",  // 0 lists 1 twice, 1 never lists 0
+		"huge node count":   "99999999999 0\n",
+		"huge edge count":   "2 200000000\n2\n1\n", // m impossible on n nodes; must fail fast, no prealloc
+		"negative edges":    "2 -1\n\n\n",
+		"non-numeric entry": "2 1\n2 q\n1\n",
+	} {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	g, err := ReadJSON(strings.NewReader(`{"n": 3, "edges": [[0,1],[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+	for name, in := range map[string]string{
+		"garbage":      "{",
+		"negative n":   `{"n": -1}`,
+		"out of range": `{"n": 2, "edges": [[0,5]]}`,
+		"self loop":    `{"n": 2, "edges": [[1,1]]}`,
+		"triple":       `{"n": 3, "edges": [[0,1,2]]}`,
+		"huge n":       `{"n": 99999999999}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestHashCanonical(t *testing.T) {
+	a := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	// Same graph from shuffled, duplicated, reversed edges.
+	b := mustGraph(t, 4, [][2]int{{3, 2}, {1, 0}, {2, 1}, {0, 1}})
+	if Hash(a) != Hash(b) {
+		t.Error("hash differs across edge orderings of the same graph")
+	}
+	c := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}})
+	if Hash(a) == Hash(c) {
+		t.Error("hash collides across different edge sets")
+	}
+	d := mustGraph(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if Hash(a) == Hash(d) {
+		t.Error("hash ignores node count")
+	}
+}
+
+func TestHashFormatIndependent(t *testing.T) {
+	g := graph.Torus(4, 5)
+	want := Hash(g)
+	for _, f := range []Format{FormatEdgeList, FormatMETIS, FormatJSON} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, f); err != nil {
+			t.Fatalf("%v: write: %v", f, err)
+		}
+		got, err := Read(&buf, f)
+		if err != nil {
+			t.Fatalf("%v: read: %v", f, err)
+		}
+		if Hash(got) != want {
+			t.Errorf("%v: hash changed across a serialization round trip", f)
+		}
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	g := graph.Grid(3, 4)
+	dir := t.TempDir()
+	for _, ext := range []string{".el", ".metis", ".json"} {
+		path := filepath.Join(dir, "g"+ext)
+		if err := Save(path, g); err != nil {
+			t.Fatalf("Save(%s): %v", ext, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", ext, err)
+		}
+		if Hash(got) != Hash(g) {
+			t.Errorf("%s: loaded graph differs from saved graph", ext)
+		}
+	}
+	if err := Save(filepath.Join(dir, "g.bin"), g); err == nil {
+		t.Error("Save accepted unknown extension")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file must error")
+	}
+}

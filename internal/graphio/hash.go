@@ -1,0 +1,44 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"strongdecomp/internal/graph"
+)
+
+// hashDomain versions the hash encoding; bump it if the scheme changes so
+// stale cache identities can never collide with fresh ones.
+const hashDomain = "strongdecomp/graph/v1\n"
+
+// Hash returns the stable content hash of g: the hex SHA-256 of the node
+// count and the canonical (sorted, u<v) edge set. Because graph.Graph is
+// always canonical, two graphs hash identically iff they have the same
+// node count and edge set — independent of the byte format, edge order, or
+// orientation they were parsed from. The serving layer uses this as the
+// cache identity of a graph.
+func Hash(g *graph.Graph) string {
+	h := sha256.New()
+	io.WriteString(h, hashDomain)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x int) {
+		k := binary.PutUvarint(buf[:], uint64(x))
+		h.Write(buf[:k])
+	}
+	put(g.N())
+	put(g.M())
+	// Stream the adjacency directly; Neighbors is sorted, so emitting the
+	// u<v orientation walks the canonical edge list without materializing
+	// it.
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				put(u)
+				put(v)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

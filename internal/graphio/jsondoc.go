@@ -1,0 +1,82 @@
+package graphio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"strongdecomp/internal/graph"
+)
+
+// Document is the JSON graph interchange document:
+//
+//	{"n": 4, "edges": [[0,1],[1,2],[2,3]]}
+//
+// It is the inline-graph payload of the HTTP API and the JSON file format
+// of Load/Save. Name is optional free-form metadata. Edges is deliberately
+// [][]int rather than [][2]int: encoding/json silently truncates oversized
+// fixed arrays, and a weighted triple [u,v,w] must be rejected, not
+// reinterpreted as the edge [u,v].
+type Document struct {
+	Name  string  `json:"name,omitempty"`
+	N     int     `json:"n"`
+	Edges [][]int `json:"edges"`
+}
+
+// FromDocument validates a document and builds the graph.
+func FromDocument(doc *Document) (*graph.Graph, error) {
+	if doc == nil {
+		return nil, errors.New("graphio: nil document")
+	}
+	if doc.N < 0 {
+		return nil, fmt.Errorf("graphio: negative node count %d", doc.N)
+	}
+	if doc.N > MaxNodes {
+		return nil, fmt.Errorf("graphio: declared %d nodes exceeds limit %d", doc.N, MaxNodes)
+	}
+	b := graph.NewBuilder(doc.N)
+	for i, e := range doc.Edges {
+		if len(e) != 2 {
+			return nil, fmt.Errorf("graphio: edge %d has %d endpoints, want 2", i, len(e))
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+// ToDocument converts g to its JSON document form.
+func ToDocument(g *graph.Graph) *Document {
+	edges := make([][]int, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, []int{u, v})
+			}
+		}
+	}
+	return &Document{N: g.N(), Edges: edges}
+}
+
+// ReadJSON parses a JSON graph document.
+func ReadJSON(r io.Reader) (*graph.Graph, error) {
+	dec := json.NewDecoder(r)
+	var doc Document
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graphio: decode json document: %w", err)
+	}
+	return FromDocument(&doc)
+}
+
+// WriteJSON serializes g as a JSON graph document.
+func WriteJSON(w io.Writer, g *graph.Graph) error {
+	if g == nil {
+		return errors.New("graphio: nil graph")
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ToDocument(g))
+}

@@ -1,0 +1,152 @@
+package graphio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"strongdecomp/internal/graph"
+)
+
+// ReadMETIS parses the METIS/Chaco adjacency format: a header line
+// "n m [fmt]" followed by exactly n adjacency lines, where line i lists the
+// 1-indexed neighbors of node i. A blank adjacency line is a node with no
+// neighbors; lines starting with '%' are comments. Only unweighted graphs
+// (fmt absent, "0", "00", or "000") are supported. Adjacency data must be
+// symmetric with no repeated entries and must match the declared edge
+// count m: every (u, v) entry is recorded as a directed occurrence, a
+// duplicate occurrence is an error, and entries == 2·edges then forces
+// each edge to appear in exactly both directions.
+func ReadMETIS(r io.Reader) (*graph.Graph, error) {
+	sc := lineScanner(r)
+	n, m, err := readMETISHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	// The hint is clamped: m is validated against n but can still be
+	// large, and the map grows organically with actual file content.
+	hint := 2 * m
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	seen := make(map[[2]int]struct{}, hint) // directed occurrences
+	entries := 0
+	for u := 0; u < n; u++ {
+		text, ok := nextMETISLine(sc)
+		if !ok {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("metis: %w", err)
+			}
+			return nil, fmt.Errorf("metis: want %d adjacency lines, got %d", n, u)
+		}
+		for _, field := range strings.Fields(text) {
+			w, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("metis node %d: bad neighbor %q", u+1, field)
+			}
+			if w < 1 || w > n {
+				return nil, fmt.Errorf("metis node %d: neighbor %d out of range [1,%d]", u+1, w, n)
+			}
+			v := w - 1
+			if v == u {
+				return nil, fmt.Errorf("metis node %d: self-loop", u+1)
+			}
+			if _, dup := seen[[2]int{u, v}]; dup {
+				return nil, fmt.Errorf("metis node %d: neighbor %d listed twice", u+1, w)
+			}
+			seen[[2]int{u, v}] = struct{}{}
+			entries++
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("metis: %w", err)
+	}
+	if entries != 2*m || g.M() != m {
+		return nil, fmt.Errorf("metis: header declares %d edges, adjacency encodes %d directed entries over %d distinct edges (want %d and %d: symmetric, no repeats)", m, entries, g.M(), 2*m, m)
+	}
+	return g, nil
+}
+
+// readMETISHeader consumes comments and the "n m [fmt]" header.
+func readMETISHeader(sc interface {
+	Scan() bool
+	Text() string
+	Err() error
+}) (n, m int, err error) {
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 4 {
+			return 0, 0, fmt.Errorf("metis: bad header %q (want \"n m [fmt]\")", text)
+		}
+		if len(fields) >= 3 {
+			switch fields[2] {
+			case "0", "00", "000":
+			default:
+				return 0, 0, fmt.Errorf("metis: weighted format code %q not supported", fields[2])
+			}
+		}
+		n, err = strconv.Atoi(fields[0])
+		if err != nil || n < 0 {
+			return 0, 0, fmt.Errorf("metis: bad node count %q", fields[0])
+		}
+		if n > MaxNodes {
+			return 0, 0, fmt.Errorf("metis: declared %d nodes exceeds limit %d", n, MaxNodes)
+		}
+		m, err = strconv.Atoi(fields[1])
+		if err != nil || m < 0 {
+			return 0, 0, fmt.Errorf("metis: bad edge count %q", fields[1])
+		}
+		if maxEdges := n * (n - 1) / 2; m > maxEdges {
+			return 0, 0, fmt.Errorf("metis: %d edges impossible on %d nodes (max %d)", m, n, maxEdges)
+		}
+		return n, m, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, fmt.Errorf("metis: %w", err)
+	}
+	return 0, 0, errors.New("metis: empty input (missing header)")
+}
+
+// nextMETISLine returns the next adjacency line, skipping comments only —
+// blank lines are data (isolated nodes).
+func nextMETISLine(sc interface {
+	Scan() bool
+	Text() string
+}) (string, bool) {
+	for sc.Scan() {
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "%") {
+			continue
+		}
+		return text, true
+	}
+	return "", false
+}
+
+// WriteMETIS serializes g in the METIS adjacency format.
+func WriteMETIS(w io.Writer, g *graph.Graph) error {
+	if g == nil {
+		return errors.New("metis: nil graph")
+	}
+	bw := newErrWriter(w)
+	bw.printf("%d %d\n", g.N(), g.M())
+	for u := 0; u < g.N(); u++ {
+		for i, v := range g.Neighbors(u) {
+			if i > 0 {
+				bw.printf(" ")
+			}
+			bw.printf("%d", v+1)
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}

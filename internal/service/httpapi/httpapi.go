@@ -1,0 +1,209 @@
+// Package httpapi exposes a service.Service as an HTTP JSON API — the
+// bytes-on-the-wire layer of the decomposition server:
+//
+//	GET  /healthz        liveness probe
+//	GET  /metrics        expvar-style service + backend counters
+//	GET  /v1/algorithms  the algorithm registry (name, model, bounds)
+//	POST /v1/graphs      upload a graph, get its content hash
+//	POST /v1/decompose   decompose a graph (inline or by hash)
+//	POST /v1/carve       ball-carve a graph (inline or by hash)
+//
+// Graph uploads accept any graphio format (?format=edgelist|metis|json,
+// default json); compute requests carry the graph inline as a JSON graph
+// document or reference a previously uploaded content hash. Typed service
+// errors map onto status codes: invalid requests → 400, unknown hashes →
+// 404, canceled or timed-out runs → 504.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/registry"
+	"strongdecomp/internal/service"
+)
+
+// maxBodyBytes bounds request bodies (inline graphs included).
+const maxBodyBytes = 128 << 20
+
+// New returns the HTTP handler serving s.
+func New(s *service.Service) http.Handler {
+	api := &api{svc: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", api.healthz)
+	mux.HandleFunc("GET /metrics", api.metrics)
+	mux.HandleFunc("GET /v1/algorithms", api.algorithms)
+	mux.HandleFunc("POST /v1/graphs", api.putGraph)
+	mux.HandleFunc("POST /v1/decompose", api.compute(false))
+	mux.HandleFunc("POST /v1/carve", api.compute(true))
+	return mux
+}
+
+type api struct {
+	svc *service.Service
+}
+
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.svc.Stats())
+}
+
+// algorithmInfo is the wire form of a registry entry.
+type algorithmInfo struct {
+	Name      string `json:"name"`
+	Display   string `json:"display"`
+	Model     string `json:"model"`
+	Diameter  string `json:"diameter"`
+	Reference string `json:"reference,omitempty"`
+	Default   bool   `json:"default,omitempty"`
+}
+
+func (a *api) algorithms(w http.ResponseWriter, r *http.Request) {
+	infos := registry.Infos()
+	out := make([]algorithmInfo, len(infos))
+	for i, info := range infos {
+		out[i] = algorithmInfo{
+			Name:      info.Name,
+			Display:   info.DisplayName(),
+			Model:     info.Model,
+			Diameter:  info.Diameter,
+			Reference: info.Reference,
+			Default:   info.Name == a.svc.DefaultAlgorithm(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// graphResponse answers an upload: the content hash is the handle for
+// subsequent by-hash compute requests.
+type graphResponse struct {
+	Hash string `json:"hash"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+}
+
+func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
+	format := graphio.FormatJSON
+	if name := r.URL.Query().Get("format"); name != "" {
+		var err error
+		if format, err = graphio.ParseFormat(name); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	g, err := graphio.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes), format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hash := a.svc.PutGraph(g)
+	writeJSON(w, http.StatusOK, graphResponse{Hash: hash, N: g.N(), M: g.M()})
+}
+
+// computeRequest is the body of /v1/decompose and /v1/carve: an inline
+// graph document or a content hash, plus run parameters.
+type computeRequest struct {
+	Graph *graphio.Document `json:"graph,omitempty"`
+	Hash  string            `json:"hash,omitempty"`
+	Algo  string            `json:"algo,omitempty"`
+	Eps   float64           `json:"eps,omitempty"`
+	Seed  int64             `json:"seed,omitempty"`
+}
+
+// computeResponse is a served result. Assign/Color follow the library
+// conventions (Assign[v] == -1 marks a carved-away node).
+type computeResponse struct {
+	GraphHash string  `json:"graph_hash"`
+	Kind      string  `json:"kind"`
+	Algo      string  `json:"algo"`
+	Seed      int64   `json:"seed"`
+	Eps       float64 `json:"eps,omitempty"`
+	K         int     `json:"k"`
+	Colors    int     `json:"colors,omitempty"`
+	Assign    []int   `json:"assign"`
+	Color     []int   `json:"color,omitempty"`
+	Rounds    int64   `json:"rounds"`
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (a *api) compute(carve bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var body computeRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		req := &service.Request{Hash: body.Hash, Algo: body.Algo, Eps: body.Eps, Seed: body.Seed}
+		if body.Graph != nil {
+			g, err := graphio.FromDocument(body.Graph)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			req.Graph = g
+		}
+		var (
+			res *service.Result
+			err error
+		)
+		if carve {
+			res, err = a.svc.Carve(r.Context(), req)
+		} else {
+			res, err = a.svc.Decompose(r.Context(), req)
+		}
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		out := computeResponse{
+			GraphHash: res.GraphHash, Kind: res.Kind, Algo: res.Algo,
+			Seed: res.Seed, Eps: res.Eps,
+			Rounds: res.Rounds, Cached: res.CacheHit, Shared: res.Shared,
+			ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		if res.Carving != nil {
+			out.K, out.Assign = res.Carving.K, res.Carving.Assign
+		}
+		if res.Decomposition != nil {
+			out.K, out.Colors = res.Decomposition.K, res.Decomposition.Colors
+			out.Assign, out.Color = res.Decomposition.Assign, res.Decomposition.Color
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// statusOf maps the serving layer's typed errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrInvalidRequest),
+		errors.Is(err, registry.ErrUnknownAlgorithm):
+		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

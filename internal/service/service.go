@@ -1,0 +1,315 @@
+// Package service is the request-shaped layer over the decomposition
+// engine: a Service accepts (graph, algorithm, eps, seed) requests and
+// answers them through a content-addressed result cache, deduplicating
+// concurrent identical computations in flight (singleflight) and
+// propagating per-request timeouts through context cancellation.
+//
+// The cache identity of a request is (graphio.Hash(g), algo, kind, eps,
+// seed): every registered construction is deterministic given its seed, so
+// a cached result is bit-identical to a recomputed one and the hot path of
+// a repeated decomposition drops from O(BFS) to O(1).
+//
+// The package depends only on the internal substrate (graph, cluster,
+// registry, rounds, graphio); the execution backend is injected as a
+// Runner, which both a bare registry.Decomposer and the public
+// strongdecomp.Engine satisfy. The facade's NewService wires the Engine
+// in; tests can wire stubs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/registry"
+	"strongdecomp/internal/rounds"
+)
+
+// Typed errors of the serving layer. HTTP handlers map these to status
+// codes with errors.Is.
+var (
+	// ErrInvalidRequest marks malformed requests (no graph, bad eps, both
+	// inline graph and hash, ...).
+	ErrInvalidRequest = errors.New("service: invalid request")
+	// ErrUnknownGraph is returned for a by-hash request whose hash is not
+	// (or no longer) in the graph store.
+	ErrUnknownGraph = errors.New("service: unknown graph hash")
+)
+
+// Runner executes decompositions; *strongdecomp.Engine and any
+// registry.Decomposer satisfy it.
+type Runner interface {
+	Carve(ctx context.Context, g *graph.Graph, eps float64, opts *registry.RunOptions) (*cluster.Carving, error)
+	Decompose(ctx context.Context, g *graph.Graph, opts *registry.RunOptions) (*cluster.Decomposition, error)
+}
+
+// Config parameterizes New. The zero value is serviceable: registry-backed
+// runners, the paper's construction as default algorithm, and default
+// cache sizes.
+type Config struct {
+	// NewRunner builds the execution backend for an algorithm name. Nil
+	// means direct registry dispatch (no engine parallelism).
+	NewRunner func(algo string) (Runner, error)
+	// RunnerStats, when non-nil, contributes backend counters (e.g. engine
+	// pool stats) to Stats().Runner.
+	RunnerStats func() map[string]int64
+	// DefaultAlgorithm is used when a request names none; default
+	// "chang-ghaffari".
+	DefaultAlgorithm string
+	// CacheSize bounds the result cache entries (default 256; negative
+	// disables caching).
+	CacheSize int
+	// GraphStoreSize bounds the uploaded-graph store entries (default 128;
+	// negative disables the store, forcing inline graphs).
+	GraphStoreSize int
+	// GraphStoreBudget bounds the store's total size in node+edge units
+	// (default 1<<25, roughly a few hundred MB of adjacency); graphs that
+	// alone exceed the budget are not retained.
+	GraphStoreBudget int
+	// Timeout bounds each request's computation; 0 means no service-side
+	// limit (the caller's context still applies).
+	Timeout time.Duration
+}
+
+// Service answers decomposition requests through a cache, an in-flight
+// deduplicator, and an injected execution backend. It is safe for
+// concurrent use — one Service is meant to serve a whole process.
+type Service struct {
+	cfg     Config
+	runners *runnerTable
+	cache   *resultCache
+	graphs  *graphStore
+	flight  *flightGroup
+	stats   *statsTable
+	start   time.Time
+}
+
+// New builds a Service from cfg.
+func New(cfg Config) *Service {
+	if cfg.NewRunner == nil {
+		cfg.NewRunner = func(algo string) (Runner, error) { return registry.Lookup(algo) }
+	}
+	if cfg.DefaultAlgorithm == "" {
+		cfg.DefaultAlgorithm = "chang-ghaffari"
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.GraphStoreSize == 0 {
+		cfg.GraphStoreSize = 128
+	}
+	if cfg.GraphStoreBudget == 0 {
+		cfg.GraphStoreBudget = 1 << 25
+	}
+	return &Service{
+		cfg:     cfg,
+		runners: newRunnerTable(cfg.NewRunner),
+		cache:   newResultCache(cfg.CacheSize),
+		graphs:  newGraphStore(cfg.GraphStoreSize, cfg.GraphStoreBudget),
+		flight:  newFlightGroup(),
+		stats:   newStatsTable(),
+		start:   time.Now(),
+	}
+}
+
+// Request is one decomposition or carving request. Exactly one of Graph
+// (inline) and Hash (previously uploaded, see PutGraph) must be set.
+type Request struct {
+	Graph *graph.Graph
+	Hash  string
+	// Algo is a registry name; empty means the service default.
+	Algo string
+	// Eps is the carving boundary parameter (carve requests only).
+	Eps float64
+	// Seed drives randomized constructions and is part of the cache key.
+	Seed int64
+}
+
+// Result is a served decomposition or carving. Payload pointers (Carving,
+// Decomposition) may be shared with the cache and other callers — treat
+// them as immutable.
+type Result struct {
+	// GraphHash is the content hash the result is cached under.
+	GraphHash string
+	// Kind is "carve" or "decompose".
+	Kind string
+	Algo string
+	Eps  float64
+	Seed int64
+
+	Carving       *cluster.Carving
+	Decomposition *cluster.Decomposition
+
+	// Rounds is the simulated CONGEST cost of the underlying run.
+	Rounds int64
+	// Elapsed is the wall-clock compute time of the underlying run (not
+	// of this request, which may have been served from cache).
+	Elapsed time.Duration
+	// CacheHit reports that the result came from the cache.
+	CacheHit bool
+	// Shared reports that the result was computed once by a concurrent
+	// identical request and shared through the in-flight deduplicator.
+	Shared bool
+}
+
+// request kinds; part of the cache key so a carving can never shadow a
+// decomposition of the same graph.
+const (
+	kindCarve     = "carve"
+	kindDecompose = "decompose"
+)
+
+// Decompose serves a full network decomposition.
+func (s *Service) Decompose(ctx context.Context, req *Request) (*Result, error) {
+	if req == nil {
+		return nil, fmt.Errorf("%w: nil request", ErrInvalidRequest)
+	}
+	r := *req
+	r.Eps = 0 // not a decomposition parameter; keep the cache key canonical
+	return s.do(ctx, kindDecompose, &r)
+}
+
+// Carve serves a ball carving with boundary parameter req.Eps.
+func (s *Service) Carve(ctx context.Context, req *Request) (*Result, error) {
+	if req == nil {
+		return nil, fmt.Errorf("%w: nil request", ErrInvalidRequest)
+	}
+	if !(req.Eps > 0 && req.Eps <= 1) { // written to also reject NaN
+		return nil, fmt.Errorf("%w: eps %v outside (0, 1]", ErrInvalidRequest, req.Eps)
+	}
+	return s.do(ctx, kindCarve, req)
+}
+
+// PutGraph stores g in the graph store and returns its content hash, the
+// identity later by-hash requests use.
+func (s *Service) PutGraph(g *graph.Graph) string {
+	hash := graphio.Hash(g)
+	s.graphs.put(hash, g)
+	return hash
+}
+
+// GetGraph returns the stored graph for a content hash.
+func (s *Service) GetGraph(hash string) (*graph.Graph, bool) {
+	return s.graphs.get(hash)
+}
+
+// DefaultAlgorithm returns the algorithm used when requests name none.
+func (s *Service) DefaultAlgorithm() string { return s.cfg.DefaultAlgorithm }
+
+// do is the shared request path: resolve graph → cache → singleflight →
+// backend.
+func (s *Service) do(ctx context.Context, kind string, req *Request) (*Result, error) {
+	algo := req.Algo
+	if algo == "" {
+		algo = s.cfg.DefaultAlgorithm
+	}
+	// Validate the algorithm before creating its stats entry: the stats
+	// table is keyed by caller-supplied strings and serialized into
+	// /metrics, so unregistered names must never be admitted into it.
+	runner, err := s.runners.get(algo)
+	if err != nil {
+		return nil, err
+	}
+	st := s.stats.algo(algo)
+	st.requests.Add(1)
+
+	g, hash, err := s.resolveGraph(req)
+	if err != nil {
+		st.errors.Add(1)
+		return nil, err
+	}
+
+	key := cacheKey{hash: hash, algo: algo, kind: kind, eps: req.Eps, seed: req.Seed}
+	if res, ok := s.cache.get(key); ok {
+		st.cacheHits.Add(1)
+		out := *res
+		out.CacheHit = true
+		return &out, nil
+	}
+	st.cacheMisses.Add(1)
+
+	// The computation itself runs on the flight's detached context (so one
+	// caller abandoning a shared flight cannot poison it); the service
+	// timeout bounds that detached context, while each caller's own ctx
+	// bounds only its wait.
+	res, err, shared := s.flight.do(ctx, key, func(runCtx context.Context) (*Result, error) {
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.Timeout)
+			defer cancel()
+		}
+		out, err := s.compute(runCtx, kind, runner, g, key)
+		if err != nil {
+			return nil, err
+		}
+		st.recordLatency(out.Elapsed)
+		s.cache.put(key, out)
+		return out, nil
+	})
+	if shared {
+		st.dedupShared.Add(1)
+	}
+	if err != nil {
+		// Counted per failed request — leader, followers, and abandoned
+		// waiters alike — so Errors matches its "failed requests" contract.
+		st.errors.Add(1)
+		return nil, err
+	}
+	if shared {
+		out := *res
+		out.Shared = true
+		return &out, nil
+	}
+	return res, nil
+}
+
+// compute runs the construction on the backend and packages the result.
+func (s *Service) compute(ctx context.Context, kind string, runner Runner, g *graph.Graph, key cacheKey) (*Result, error) {
+	meter := rounds.NewMeter()
+	opts := &registry.RunOptions{Seed: key.seed, Meter: meter}
+	out := &Result{GraphHash: key.hash, Kind: kind, Algo: key.algo, Eps: key.eps, Seed: key.seed}
+	start := time.Now()
+	switch kind {
+	case kindCarve:
+		c, err := runner.Carve(ctx, g, key.eps, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Carving = c
+	case kindDecompose:
+		d, err := runner.Decompose(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Decomposition = d
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, kind)
+	}
+	out.Elapsed = time.Since(start)
+	out.Rounds = meter.Rounds()
+	return out, nil
+}
+
+// resolveGraph turns a request into a (graph, content hash) pair. Inline
+// graphs are hashed and retained in the store, so a caller can switch to
+// by-hash requests without a separate upload.
+func (s *Service) resolveGraph(req *Request) (*graph.Graph, string, error) {
+	switch {
+	case req.Graph != nil && req.Hash != "":
+		return nil, "", fmt.Errorf("%w: provide an inline graph or a hash, not both", ErrInvalidRequest)
+	case req.Graph != nil:
+		return req.Graph, s.PutGraph(req.Graph), nil
+	case req.Hash != "":
+		g, ok := s.graphs.get(req.Hash)
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrUnknownGraph, req.Hash)
+		}
+		return g, req.Hash, nil
+	default:
+		return nil, "", fmt.Errorf("%w: request carries no graph and no hash", ErrInvalidRequest)
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// algoStats is the live per-algorithm counter block; mutated with atomics
+// on the request path, snapshotted by Stats.
+type algoStats struct {
+	requests     atomic.Int64
+	errors       atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	dedupShared  atomic.Int64
+	computes     atomic.Int64
+	latencyNS    atomic.Int64
+	latencyMaxNS atomic.Int64
+}
+
+// recordLatency folds one completed computation into the block.
+func (a *algoStats) recordLatency(d time.Duration) {
+	a.computes.Add(1)
+	a.latencyNS.Add(int64(d))
+	for {
+		m := a.latencyMaxNS.Load()
+		if int64(d) <= m || a.latencyMaxNS.CompareAndSwap(m, int64(d)) {
+			return
+		}
+	}
+}
+
+// statsTable lazily allocates one counter block per algorithm name.
+type statsTable struct {
+	mu    sync.Mutex
+	algos map[string]*algoStats
+}
+
+func newStatsTable() *statsTable { return &statsTable{algos: make(map[string]*algoStats)} }
+
+func (t *statsTable) algo(name string) *algoStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.algos[name]
+	if !ok {
+		st = &algoStats{}
+		t.algos[name] = st
+	}
+	return st
+}
+
+// AlgoStats is a point-in-time snapshot of one algorithm's serving
+// counters.
+type AlgoStats struct {
+	// Requests counts every request naming this algorithm, however it was
+	// answered.
+	Requests int64 `json:"requests"`
+	// Errors counts failed requests (validation, unknown graph, canceled
+	// or failed computations).
+	Errors int64 `json:"errors"`
+	// CacheHits / CacheMisses split the requests that reached the result
+	// cache.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// DedupShared counts requests answered by joining another request's
+	// in-flight computation instead of starting their own.
+	DedupShared int64 `json:"dedup_shared"`
+	// Computes counts completed backend computations (the misses that ran
+	// to success).
+	Computes int64 `json:"computes"`
+	// Latency aggregates over completed computations.
+	LatencyTotal time.Duration `json:"latency_total_ns"`
+	LatencyMax   time.Duration `json:"latency_max_ns"`
+	LatencyMean  time.Duration `json:"latency_mean_ns"`
+}
+
+// Stats is a Service-wide snapshot: totals, cache occupancy, per-algorithm
+// blocks, and (when configured) backend counters.
+type Stats struct {
+	Uptime        time.Duration        `json:"uptime_ns"`
+	Requests      int64                `json:"requests"`
+	Errors        int64                `json:"errors"`
+	CacheHits     int64                `json:"cache_hits"`
+	CacheMisses   int64                `json:"cache_misses"`
+	DedupShared   int64                `json:"dedup_shared"`
+	CachedResults int                  `json:"cached_results"`
+	StoredGraphs  int                  `json:"stored_graphs"`
+	Algorithms    map[string]AlgoStats `json:"algorithms"`
+	Runner        map[string]int64     `json:"runner,omitempty"`
+}
+
+// Stats snapshots the service counters. Counters are read atomically but
+// individually, so cross-counter sums may be off by in-flight requests.
+func (s *Service) Stats() Stats {
+	out := Stats{
+		Uptime:        time.Since(s.start),
+		CachedResults: s.cache.len(),
+		StoredGraphs:  s.graphs.len(),
+		Algorithms:    make(map[string]AlgoStats),
+	}
+	s.stats.mu.Lock()
+	names := make([]string, 0, len(s.stats.algos))
+	blocks := make([]*algoStats, 0, len(s.stats.algos))
+	for name, st := range s.stats.algos {
+		names = append(names, name)
+		blocks = append(blocks, st)
+	}
+	s.stats.mu.Unlock()
+	for i, name := range names {
+		st := blocks[i]
+		a := AlgoStats{
+			Requests:     st.requests.Load(),
+			Errors:       st.errors.Load(),
+			CacheHits:    st.cacheHits.Load(),
+			CacheMisses:  st.cacheMisses.Load(),
+			DedupShared:  st.dedupShared.Load(),
+			Computes:     st.computes.Load(),
+			LatencyTotal: time.Duration(st.latencyNS.Load()),
+			LatencyMax:   time.Duration(st.latencyMaxNS.Load()),
+		}
+		if a.Computes > 0 {
+			a.LatencyMean = a.LatencyTotal / time.Duration(a.Computes)
+		}
+		out.Algorithms[name] = a
+		out.Requests += a.Requests
+		out.Errors += a.Errors
+		out.CacheHits += a.CacheHits
+		out.CacheMisses += a.CacheMisses
+		out.DedupShared += a.DedupShared
+	}
+	if s.cfg.RunnerStats != nil {
+		out.Runner = s.cfg.RunnerStats()
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package strongdecomp
+
+// This file is the serving facade: graph I/O re-exports (load, save,
+// content hash) and NewService, which wires the request-shaped caching
+// layer in internal/service to Engine-backed execution. cmd/serve mounts
+// the result behind the HTTP API in internal/service/httpapi.
+
+import (
+	"sync"
+	"time"
+
+	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/service"
+)
+
+// Serving-layer re-exports. A Service answers decomposition requests
+// through a content-addressed LRU result cache keyed by
+// (HashGraph(g), algorithm, kind, eps, seed), deduplicates concurrent
+// identical requests in flight, and runs every computation on a shared
+// per-algorithm Engine.
+type (
+	// Service is the caching, deduplicating request layer over the Engine.
+	Service = service.Service
+	// ServiceRequest is one decomposition/carving request (inline graph or
+	// content hash).
+	ServiceRequest = service.Request
+	// ServiceResult is a served result with cache/dedup provenance flags.
+	ServiceResult = service.Result
+	// ServiceStats is the Service observability snapshot.
+	ServiceStats = service.Stats
+)
+
+// Typed serving errors.
+var (
+	// ErrInvalidRequest marks malformed service requests.
+	ErrInvalidRequest = service.ErrInvalidRequest
+	// ErrUnknownGraph marks by-hash requests for graphs not in the store.
+	ErrUnknownGraph = service.ErrUnknownGraph
+)
+
+// LoadGraph reads a graph file, detecting the format (edge list, METIS, or
+// JSON document) from the extension.
+func LoadGraph(path string) (*Graph, error) { return graphio.Load(path) }
+
+// SaveGraph writes g to path in the format detected from the extension.
+func SaveGraph(path string, g *Graph) error { return graphio.Save(path, g) }
+
+// HashGraph returns the stable content hash of g — the cache identity used
+// by the serving layer. Two graphs hash identically iff they have the same
+// node count and edge set.
+func HashGraph(g *Graph) string { return graphio.Hash(g) }
+
+type serviceConfig struct {
+	workers    int
+	cacheSize  int
+	graphStore int
+	timeout    time.Duration
+	algo       string
+}
+
+// ServiceOption configures NewService.
+type ServiceOption func(*serviceConfig)
+
+// WithServiceWorkers sets the worker-pool size of every backing Engine
+// (default GOMAXPROCS).
+func WithServiceWorkers(n int) ServiceOption {
+	return func(c *serviceConfig) { c.workers = n }
+}
+
+// WithServiceCacheSize bounds the result cache (default 256 entries; a
+// negative size disables caching).
+func WithServiceCacheSize(n int) ServiceOption {
+	return func(c *serviceConfig) { c.cacheSize = n }
+}
+
+// WithServiceGraphStore bounds the uploaded-graph store (default 128
+// graphs).
+func WithServiceGraphStore(n int) ServiceOption {
+	return func(c *serviceConfig) { c.graphStore = n }
+}
+
+// WithServiceTimeout bounds each request's computation via context
+// deadline; timed-out requests fail with errors matching ErrCanceled.
+func WithServiceTimeout(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.timeout = d }
+}
+
+// WithServiceAlgorithm sets the construction used by requests that name
+// none (default the paper's "chang-ghaffari").
+func WithServiceAlgorithm(name string) ServiceOption {
+	return func(c *serviceConfig) { c.algo = name }
+}
+
+// NewService builds the serving layer: requests are answered from the
+// content-addressed cache when possible, concurrent identical requests
+// share one computation, and misses execute on a lazily-created Engine per
+// algorithm (each with component-level parallelism over its worker pool).
+// The aggregated engine counters surface in ServiceStats.Runner and the
+// HTTP /metrics endpoint.
+func NewService(opts ...ServiceOption) *Service {
+	var c serviceConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+
+	var (
+		mu      sync.Mutex
+		engines []*Engine
+	)
+	return service.New(service.Config{
+		DefaultAlgorithm: c.algo,
+		CacheSize:        c.cacheSize,
+		GraphStoreSize:   c.graphStore,
+		Timeout:          c.timeout,
+		NewRunner: func(algo string) (service.Runner, error) {
+			// Engines resolve names lazily; validate here so unknown
+			// algorithms fail at request time with ErrUnknownAlgorithm
+			// instead of creating a dead engine.
+			if _, err := Lookup(algo); err != nil {
+				return nil, err
+			}
+			e := NewEngine(WithEngineAlgorithm(algo), WithWorkers(c.workers))
+			mu.Lock()
+			engines = append(engines, e)
+			mu.Unlock()
+			return e, nil
+		},
+		RunnerStats: func() map[string]int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			out := map[string]int64{"engines": int64(len(engines))}
+			for _, e := range engines {
+				for k, v := range e.Stats().Counters() {
+					switch k {
+					case "max_parallel", "workers":
+						if v > out[k] {
+							out[k] = v
+						}
+					default:
+						out[k] += v
+					}
+				}
+			}
+			return out
+		},
+	})
+}

@@ -1,0 +1,205 @@
+package strongdecomp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"strongdecomp"
+	"strongdecomp/internal/service/httpapi"
+)
+
+// TestServiceFacadeGraphIO covers the facade's graph I/O re-exports.
+func TestServiceFacadeGraphIO(t *testing.T) {
+	g := strongdecomp.TorusGraph(4, 4)
+	dir := t.TempDir()
+	for _, ext := range []string{".el", ".metis", ".json"} {
+		path := filepath.Join(dir, "g"+ext)
+		if err := strongdecomp.SaveGraph(path, g); err != nil {
+			t.Fatalf("SaveGraph(%s): %v", ext, err)
+		}
+		got, err := strongdecomp.LoadGraph(path)
+		if err != nil {
+			t.Fatalf("LoadGraph(%s): %v", ext, err)
+		}
+		if strongdecomp.HashGraph(got) != strongdecomp.HashGraph(g) {
+			t.Fatalf("%s: content hash changed across save/load", ext)
+		}
+	}
+}
+
+// TestServiceHTTPAllAlgorithms pins the acceptance surface: the HTTP API
+// over a real engine-backed service lists every registered construction.
+func TestServiceHTTPAllAlgorithms(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	listed := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		listed[info.Name] = true
+	}
+	for _, want := range strongdecomp.Algorithms() {
+		if !listed[want] {
+			t.Errorf("registered construction %q missing from /v1/algorithms", want)
+		}
+	}
+	if len(listed) < 6 {
+		t.Fatalf("only %d constructions listed, want the full registry (>= 6)", len(listed))
+	}
+}
+
+// TestServiceHTTPRepeatCached: a repeated POST /v1/decompose with the same
+// (graph, algo, eps, seed) is served from cache, observable both on the
+// response and the /metrics hit counter.
+func TestServiceHTTPRepeatCached(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	defer srv.Close()
+
+	body := []byte(`{"graph": {"n": 8, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,0]]}, "algo": "chang-ghaffari", "seed": 1}`)
+	var first, second struct {
+		Cached bool  `json:"cached"`
+		Assign []int `json:"assign"`
+		K      int   `json:"k"`
+	}
+	for i, out := range []any{&first, &second} {
+		resp, err := http.Post(srv.URL+"/v1/decompose", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, %s (%v)", i, resp.StatusCode, data, err)
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first.Cached {
+		t.Fatal("first request claims a cache hit")
+	}
+	if !second.Cached {
+		t.Fatal("repeated identical request not served from cache")
+	}
+	if len(second.Assign) != 8 || second.K != first.K {
+		t.Fatalf("cached payload differs: %+v vs %+v", second, first)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats strongdecomp.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.CacheMisses != 1 {
+		t.Fatalf("metrics: hits=%d misses=%d, want 1/1", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.Runner["runs"] == 0 {
+		t.Fatal("engine counters missing from /metrics")
+	}
+}
+
+// TestServiceConcurrentIdenticalRequests exercises concurrent identical
+// requests end-to-end through the HTTP layer, cache, and singleflight over
+// a real engine (run under -race in CI). Every request must succeed with
+// the identical deterministic payload, and each is answered by exactly one
+// of: cache hit, in-flight share, or the single leader computation.
+func TestServiceConcurrentIdenticalRequests(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	defer srv.Close()
+
+	body := []byte(`{"graph": {"n": 9, "edges": [[0,1],[0,2],[1,3],[1,4],[2,5],[2,6],[3,7],[3,8]]}, "algo": "chang-ghaffari-improved", "seed": 5}`)
+	const n = 16
+	assigns := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/decompose", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			var out struct {
+				Assign []int `json:"assign"`
+			}
+			if errs[i] = json.Unmarshal(data, &out); errs[i] == nil {
+				assigns[i] = fmt.Sprint(out.Assign)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if assigns[i] != assigns[0] {
+			t.Fatalf("request %d returned a different assignment", i)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats strongdecomp.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	a := stats.Algorithms["chang-ghaffari-improved"]
+	if got := stats.CacheHits + stats.DedupShared + a.Computes; got != n {
+		t.Fatalf("hits(%d) + shared(%d) + computes(%d) = %d, want %d",
+			stats.CacheHits, stats.DedupShared, a.Computes, got, n)
+	}
+	if stats.CacheHits+stats.DedupShared < n/2 {
+		t.Fatalf("expected most requests deduplicated or cached, got hits=%d shared=%d computes=%d",
+			stats.CacheHits, stats.DedupShared, a.Computes)
+	}
+}
+
+// TestServiceFacadeTimeoutOption covers the timeout plumbed through the
+// facade options into context cancellation.
+func TestServiceFacadeTimeoutOption(t *testing.T) {
+	svc := strongdecomp.NewService(
+		strongdecomp.WithServiceTimeout(1), // 1ns: every computation times out
+		strongdecomp.WithServiceCacheSize(-1),
+	)
+	g := strongdecomp.CycleGraph(4096)
+	_, err := svc.Decompose(t.Context(), &strongdecomp.ServiceRequest{Graph: g})
+	if err == nil {
+		t.Fatal("1ns-timeout service served a 4096-node decomposition")
+	}
+}
