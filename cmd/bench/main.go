@@ -1,0 +1,169 @@
+// Command bench runs the substrate performance suite (internal/bench
+// PerfSuite: CSR build, parse, traverse, subgraph, and engine
+// decompose/carve paths) and emits a machine-readable benchmark artifact —
+// the BENCH_*.json trajectory every performance PR is judged against.
+//
+// The emitted document carries two measurement sets: the recorded
+// pre-CSR-refactor baseline (fixed numbers, measured once on the [][]int
+// adjacency representation before it was replaced) and the current run on
+// this machine. The acceptance block compares the engine multi-component
+// decompose path between the two.
+//
+// Usage:
+//
+//	bench [-out BENCH_pr3.json] [-short] [-algos chang-ghaffari,...] [-text]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"strongdecomp"
+	"strongdecomp/internal/bench"
+)
+
+// preRefactorBaseline is the pre-CSR measurement set: the same PerfSuite
+// workloads run at commit e59f2ab ("PR 2"), when the graph core was a
+// [][]int adjacency, InducedSubgraph/IsConnected remapped through maps,
+// and the rg carver allocated per-node cluster state eagerly. Times are
+// from one machine (Intel Xeon @ 2.10GHz, go1.24, -benchtime 1s) and are
+// meaningful relative to a current run on the same machine; allocs/op is
+// machine independent.
+var preRefactorBaseline = []bench.PerfResult{
+	{Name: "build-connectedgnp", Workload: bench.CSRWorkloadName, NsPerOp: 7721063, AllocsPerOp: 26, BytesPerOp: 551536},
+	{Name: "parse-edgelist", Workload: bench.CSRWorkloadName, NsPerOp: 438237, AllocsPerOp: 5615, BytesPerOp: 626154},
+	{Name: "parse-metis", Workload: bench.CSRWorkloadName, NsPerOp: 1488447, AllocsPerOp: 2606, BytesPerOp: 855945},
+	{Name: "bfs", Workload: bench.CSRWorkloadName, NsPerOp: 6732, AllocsPerOp: 10, BytesPerOp: 8184},
+	{Name: "components", Workload: bench.CSRWorkloadName, NsPerOp: 30660, AllocsPerOp: 9, BytesPerOp: 22184},
+	{Name: "induced-subgraph", Workload: bench.CSRWorkloadName, NsPerOp: 212548, AllocsPerOp: 87, BytesPerOp: 312128},
+	{Name: "is-connected", Workload: bench.CSRWorkloadName, NsPerOp: 222955, AllocsPerOp: 100, BytesPerOp: 165409},
+	{Name: "engine-decompose/chang-ghaffari", Workload: bench.CSRWorkloadName, Algorithm: "chang-ghaffari", NsPerOp: 4597065, AllocsPerOp: 13320, BytesPerOp: 2376902},
+	{Name: "engine-carve/chang-ghaffari", Workload: bench.CSRWorkloadName, Algorithm: "chang-ghaffari", NsPerOp: 4690209, AllocsPerOp: 13259, BytesPerOp: 2341249},
+}
+
+// document is the emitted artifact schema.
+type document struct {
+	Schema    string `json:"schema"`
+	PR        string `json:"pr"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Short     bool   `json:"short"`
+
+	// Baseline is the fixed pre-CSR-refactor measurement set (see
+	// preRefactorBaseline); Current is this run.
+	BaselineNote string             `json:"baselineNote"`
+	Baseline     []bench.PerfResult `json:"baseline"`
+	Current      []bench.PerfResult `json:"current"`
+
+	// Acceptance summarizes the headline comparison: allocations per op on
+	// the engine multi-component decompose path, before vs after.
+	Acceptance acceptance `json:"acceptance"`
+}
+
+type acceptance struct {
+	Path              string  `json:"path"`
+	BaselineAllocs    int64   `json:"baselineAllocsPerOp"`
+	CurrentAllocs     int64   `json:"currentAllocsPerOp"`
+	AllocsRatio       float64 `json:"allocsImprovementRatio"`
+	MeetsTwoXCriteria bool    `json:"meetsTwoXCriteria"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "", "write the JSON artifact to this path (default: stdout)")
+		short  = flag.Bool("short", false, "fixed small iteration counts instead of 1s auto-tuning (CI smoke mode)")
+		algos  = flag.String("algos", "chang-ghaffari", "comma-separated registry names for the engine cases; \"all\" measures every registered construction")
+		asText = flag.Bool("text", false, "print an aligned text table instead of JSON")
+	)
+	flag.Parse()
+
+	var names []string
+	if *algos == "all" {
+		names = strongdecomp.Algorithms()
+	} else {
+		for _, name := range strings.Split(*algos, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	newRunner := func(algo string) bench.PerfRunner {
+		return strongdecomp.NewEngine(strongdecomp.WithEngineAlgorithm(algo), strongdecomp.WithWorkers(1))
+	}
+	results, err := bench.PerfSuite(newRunner, names, *short)
+	if err != nil {
+		return err
+	}
+
+	if *asText {
+		fmt.Print(bench.FormatPerf(results))
+		return nil
+	}
+
+	acc, err := buildAcceptance(results)
+	if err != nil {
+		return err
+	}
+	doc := document{
+		Schema:       "strongdecomp-bench/v1",
+		PR:           "pr3",
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Short:        *short,
+		BaselineNote: "pre-CSR-refactor measurement at commit e59f2ab ([][]int adjacency, map-based remap); allocs/op machine-independent, ns/op comparable on like hardware only; parse-json has no baseline row (the pre-refactor suite did not measure it)",
+		Baseline:     preRefactorBaseline,
+		Current:      results,
+		Acceptance:   acc,
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (engine decompose allocs/op: %d -> %d, %.1fx fewer)\n",
+		*out, doc.Acceptance.BaselineAllocs, doc.Acceptance.CurrentAllocs, doc.Acceptance.AllocsRatio)
+	return nil
+}
+
+func buildAcceptance(current []bench.PerfResult) (acceptance, error) {
+	const path = "engine-decompose/chang-ghaffari"
+	acc := acceptance{Path: path}
+	for _, r := range preRefactorBaseline {
+		if r.Name == path {
+			acc.BaselineAllocs = r.AllocsPerOp
+		}
+	}
+	for _, r := range current {
+		if r.Name == path {
+			acc.CurrentAllocs = r.AllocsPerOp
+		}
+	}
+	if acc.CurrentAllocs <= 0 {
+		return acc, fmt.Errorf("the JSON artifact needs the headline path %q: include chang-ghaffari in -algos (or use -text for partial runs)", path)
+	}
+	acc.AllocsRatio = float64(acc.BaselineAllocs) / float64(acc.CurrentAllocs)
+	acc.MeetsTwoXCriteria = acc.AllocsRatio >= 2
+	return acc, nil
+}

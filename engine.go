@@ -39,12 +39,10 @@ type Engine struct {
 	maxParallel atomic.Int64
 }
 
-// engineScratch holds the per-run buffers (BFS frontier and visited mask)
-// reused across runs through the Engine's sync.Pool.
-type engineScratch struct {
-	mask  []bool
-	queue []int
-}
+// The engine's scratch pool holds *graph.Scratch values: stamped visit
+// marks, BFS queue, and subgraph remap buffers shared by the component
+// split and the per-component InducedSubgraph calls. Buffers only grow, so
+// a shrink-then-grow sequence of graph sizes never discards grown capacity.
 
 // EngineOption configures NewEngine.
 type EngineOption func(*Engine)
@@ -75,7 +73,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 	if e.workers < 1 {
 		e.workers = 1
 	}
-	e.scratch.New = func() any { return &engineScratch{} }
+	e.scratch.New = func() any { return graph.NewScratch() }
 	return e
 }
 
@@ -161,7 +159,7 @@ func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOpti
 	meters := make([]*rounds.Meter, len(comps))
 	err = e.runPool(ctx, len(comps), func(ctx context.Context, i int) error {
 		e.runs.Add(1)
-		sub, nodeOf := graph.InducedSubgraph(g, comps[i])
+		sub, nodeOf := e.inducedSubgraph(g, comps[i])
 		ro := o
 		ro.Seed = o.Seed + int64(i)
 		ro.Meter = rounds.NewMeter()
@@ -252,7 +250,7 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions,
 	meters := make([]*rounds.Meter, len(comps))
 	runOne := func(ctx context.Context, i int) error {
 		e.runs.Add(1)
-		sub, nodeOf := graph.InducedSubgraph(g, comps[i])
+		sub, nodeOf := e.inducedSubgraph(g, comps[i])
 		ro := o
 		ro.Seed = o.Seed + int64(i)
 		ro.Nodes = nil
@@ -340,42 +338,20 @@ feed:
 	return registry.CtxErr(parent)
 }
 
-// components returns the connected components of g using pooled scratch
-// buffers, so steady-state engine traffic does not reallocate BFS state.
+// components returns the connected components of g (members in BFS
+// discovery order) using pooled scratch buffers, so steady-state engine
+// traffic does not reallocate BFS state.
 func (e *Engine) components(g *Graph) [][]int {
-	n := g.N()
-	s := e.scratch.Get().(*engineScratch)
+	s := e.scratch.Get().(*graph.Scratch)
 	defer e.scratch.Put(s)
-	if cap(s.mask) < n {
-		s.mask = make([]bool, n)
-		s.queue = make([]int, 0, n)
-	}
-	seen := s.mask[:n]
-	for i := range seen {
-		seen[i] = false
-	}
-	var comps [][]int
-	for v := 0; v < n; v++ {
-		if seen[v] {
-			continue
-		}
-		// s.queue doubles as frontier and visit order; the visited prefix
-		// [0, head) never shrinks, so it ends up holding the component.
-		q := s.queue[:0]
-		q = append(q, v)
-		seen[v] = true
-		for head := 0; head < len(q); head++ {
-			for _, w := range g.Neighbors(q[head]) {
-				if !seen[w] {
-					seen[w] = true
-					q = append(q, w)
-				}
-			}
-		}
-		comp := make([]int, len(q))
-		copy(comp, q)
-		comps = append(comps, comp)
-		s.queue = q[:0] // retain grown capacity for the next run
-	}
-	return comps
+	return s.Components(g, nil)
+}
+
+// inducedSubgraph is graph.InducedSubgraph through the engine's scratch
+// pool: the remap and membership buffers are recycled across runs and
+// workers instead of being reallocated per component.
+func (e *Engine) inducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
+	s := e.scratch.Get().(*graph.Scratch)
+	defer e.scratch.Put(s)
+	return s.InducedSubgraph(g, nodes)
 }

@@ -1,0 +1,13 @@
+package bench
+
+import "syscall"
+
+// peakRSSKB returns the process resident high-water mark in KiB (Linux
+// reports ru_maxrss in kilobytes), or 0 if getrusage fails.
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
+}

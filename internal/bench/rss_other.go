@@ -1,0 +1,8 @@
+//go:build !linux
+
+package bench
+
+// peakRSSKB is unavailable off Linux (getrusage is missing on Windows
+// and darwin reports ru_maxrss in bytes, not KiB); results record 0 per
+// the PeakRSSKB field contract.
+func peakRSSKB() int64 { return 0 }

@@ -217,24 +217,21 @@ func RandomRegularish(n, d int, seed int64) *Graph {
 func Subdivide(g *Graph, pathLen int) *Graph {
 	if pathLen <= 1 {
 		b := NewBuilder(g.N())
-		for _, e := range g.Edges() {
-			b.AddEdge(e[0], e[1])
-		}
+		g.ForEachEdge(b.AddEdge)
 		return b.MustBuild()
 	}
-	edges := g.Edges()
-	n := g.N() + len(edges)*(pathLen-1)
+	n := g.N() + g.M()*(pathLen-1)
 	b := NewBuilder(n)
 	next := g.N()
-	for _, e := range edges {
-		prev := e[0]
+	g.ForEachEdge(func(u, v int) {
+		prev := u
 		for i := 0; i < pathLen-1; i++ {
 			b.AddEdge(prev, next)
 			prev = next
 			next++
 		}
-		b.AddEdge(prev, e[1])
-	}
+		b.AddEdge(prev, v)
+	})
 	return b.MustBuild()
 }
 
@@ -283,9 +280,9 @@ func DisjointUnion(gs ...*Graph) *Graph {
 	b := NewBuilder(n)
 	off := 0
 	for _, g := range gs {
-		for _, e := range g.Edges() {
-			b.AddEdge(e[0]+off, e[1]+off)
-		}
+		g.ForEachEdge(func(u, v int) {
+			b.AddEdge(u+off, v+off)
+		})
 		off += g.N()
 	}
 	return b.MustBuild()

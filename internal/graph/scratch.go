@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"slices"
+	"sync"
+)
+
+// Scratch holds the reusable per-traversal buffers (visit stamps, BFS
+// queue, subgraph remap table, distance array) that make the hot graph
+// operations allocation-free in steady state. A Scratch is not safe for
+// concurrent use; pool one per worker (the Engine plumbs them through its
+// sync.Pool). Buffers only ever grow — a shrink-then-grow sequence of graph
+// sizes never discards grown capacity.
+//
+// Visit marks are generation stamps rather than booleans, so "clearing" the
+// visited set between calls is a single counter increment instead of an
+// O(n) memset.
+type Scratch struct {
+	mark  []int64 // mark[v] >= gen encodes per-call node state
+	gen   int64
+	remap []int // node -> dense id, valid only while mark[v] is current
+	queue []int
+	dist  []int
+}
+
+// NewScratch returns an empty Scratch; buffers are sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grow ensures the stamped arrays cover n nodes and returns a fresh
+// generation pair (gen, gen+1): callers use gen for "marked" and gen+1 for
+// "marked and visited". Newly grown regions are zero, which never matches a
+// live generation because gen starts above zero and only increases.
+func (s *Scratch) grow(n int) int64 {
+	if len(s.mark) < n {
+		mark := make([]int64, n)
+		copy(mark, s.mark)
+		s.mark = mark
+		remap := make([]int, n)
+		copy(remap, s.remap)
+		s.remap = remap
+	}
+	s.gen += 2
+	return s.gen
+}
+
+// BFS is the scratch-owned variant of the package-level BFS: identical
+// semantics, but the returned visit-order slice aliases the scratch queue
+// and is only valid until the next use of s.
+func (s *Scratch) BFS(g *Graph, alive []bool, srcs []int, dist []int) []int {
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := s.queue[:0]
+	for _, v := range srcs {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		if dist[v] == -1 {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] != -1 || (alive != nil && !alive[v]) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	s.queue = queue[:0]
+	return queue
+}
+
+// Components returns the connected components of the alive subgraph in BFS
+// visit order (components ordered by smallest node, members in discovery
+// order). Only the returned component slices are allocated; all traversal
+// state comes from the scratch.
+func (s *Scratch) Components(g *Graph, alive []bool) [][]int {
+	n := g.N()
+	gen := s.grow(n)
+	var comps [][]int
+	for v := 0; v < n; v++ {
+		if s.mark[v] == gen || (alive != nil && !alive[v]) {
+			continue
+		}
+		q := s.queue[:0]
+		q = append(q, v)
+		s.mark[v] = gen
+		for head := 0; head < len(q); head++ {
+			for _, w := range g.Neighbors(q[head]) {
+				if s.mark[w] != gen && (alive == nil || alive[w]) {
+					s.mark[w] = gen
+					q = append(q, w)
+				}
+			}
+		}
+		comp := make([]int, len(q))
+		copy(comp, q)
+		comps = append(comps, comp)
+		s.queue = q[:0] // retain grown capacity for the next component
+	}
+	return comps
+}
+
+// IsConnected reports whether the subgraph induced by nodes is connected
+// (an empty or singleton set is connected). Zero allocations.
+func (s *Scratch) IsConnected(g *Graph, nodes []int) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	gen := s.grow(g.N())
+	for _, v := range nodes {
+		s.mark[v] = gen // member, not yet visited
+	}
+	q := s.queue[:0]
+	q = append(q, nodes[0])
+	s.mark[nodes[0]] = gen + 1
+	reached := 1
+	for head := 0; head < len(q); head++ {
+		for _, w := range g.Neighbors(q[head]) {
+			if s.mark[w] == gen {
+				s.mark[w] = gen + 1
+				reached++
+				q = append(q, w)
+			}
+		}
+	}
+	s.queue = q[:0]
+	return reached == len(nodes)
+}
+
+// InducedSubgraph returns the subgraph induced by the distinct node set
+// nodes, with new ids assigned by position in nodes, plus the new-to-original
+// id mapping. The CSR rows are built directly from the host graph's rows —
+// no Builder, no edge buffer, no remap map — so the only allocations are the
+// three output arrays.
+func (s *Scratch) InducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
+	gen := s.grow(g.N())
+	orig := make([]int, len(nodes))
+	for i, v := range nodes {
+		s.mark[v] = gen
+		s.remap[v] = i
+		orig[i] = v
+	}
+	offsets := make([]int64, len(nodes)+1)
+	for i, v := range nodes {
+		d := int64(0)
+		for _, w := range g.Neighbors(v) {
+			if s.mark[w] == gen {
+				d++
+			}
+		}
+		offsets[i+1] = offsets[i] + d
+	}
+	targets := make([]int, offsets[len(nodes)])
+	for i, v := range nodes {
+		c := offsets[i]
+		for _, w := range g.Neighbors(v) {
+			if s.mark[w] == gen {
+				targets[c] = s.remap[w]
+				c++
+			}
+		}
+		// Host rows are sorted by original id; when nodes is not in
+		// increasing order the remapped row needs a local re-sort to keep
+		// the CSR row invariant.
+		slices.Sort(targets[offsets[i]:c])
+	}
+	return fromCSR(offsets, targets), orig
+}
+
+// StrongDiameter is the scratch-backed variant of the package-level
+// StrongDiameter: exact diameter of the induced subgraph, -1 if
+// disconnected or empty.
+func (s *Scratch) StrongDiameter(g *Graph, nodes []int) int {
+	if len(nodes) == 0 {
+		return -1
+	}
+	sub, _ := s.InducedSubgraph(g, nodes)
+	if cap(s.dist) < sub.N() {
+		s.dist = make([]int, sub.N())
+	}
+	dist := s.dist[:sub.N()]
+	diam := 0
+	for v := 0; v < sub.N(); v++ {
+		order := s.BFS(sub, nil, []int{v}, dist)
+		if len(order) != sub.N() {
+			return -1
+		}
+		if d := dist[order[len(order)-1]]; d > diam {
+			diam = d
+		}
+	}
+	return diam
+}
+
+// scratchPool backs the package-level convenience functions (IsConnected,
+// InducedSubgraph, StrongDiameter), so even scratch-less callers reuse
+// traversal state across calls.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }

@@ -68,78 +68,37 @@ func BFSTree(g *Graph, alive []bool, src int) (dist, parent []int) {
 // Components returns the connected components of the alive subgraph, each as
 // a sorted node list; components are ordered by their smallest node.
 func Components(g *Graph, alive []bool) [][]int {
-	seen := make([]bool, g.N())
-	var comps [][]int
-	queue := make([]int, 0, g.N())
-	for s := 0; s < g.N(); s++ {
-		if seen[s] || (alive != nil && !alive[s]) {
-			continue
-		}
-		queue = queue[:0]
-		queue = append(queue, s)
-		seen[s] = true
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			for _, v := range g.Neighbors(u) {
-				if seen[v] || (alive != nil && !alive[v]) {
-					continue
-				}
-				seen[v] = true
-				queue = append(queue, v)
-			}
-		}
-		comp := make([]int, len(queue))
-		copy(comp, queue)
+	s := getScratch()
+	comps := s.Components(g, alive)
+	putScratch(s)
+	for _, comp := range comps {
 		sortInts(comp)
-		comps = append(comps, comp)
 	}
 	return comps
 }
 
 // IsConnected reports whether the alive subgraph restricted to nodes is
-// connected (an empty or singleton set is connected).
+// connected (an empty or singleton set is connected). Membership and visit
+// state live in pooled stamp slices, not maps — this runs inside cluster
+// validation on every verify pass.
 func IsConnected(g *Graph, nodes []int) bool {
-	if len(nodes) <= 1 {
-		return true
-	}
-	member := make(map[int]bool, len(nodes))
-	for _, v := range nodes {
-		member[v] = true
-	}
-	queue := []int{nodes[0]}
-	seen := map[int]bool{nodes[0]: true}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		for _, v := range g.Neighbors(u) {
-			if member[v] && !seen[v] {
-				seen[v] = true
-				queue = append(queue, v)
-			}
-		}
-	}
-	return len(seen) == len(nodes)
+	s := getScratch()
+	ok := s.IsConnected(g, nodes)
+	putScratch(s)
+	return ok
 }
 
 // InducedSubgraph returns the subgraph induced by nodes together with the
 // mapping from new IDs (0..len(nodes)-1) back to the original IDs. The
 // relative order of nodes is preserved, so original ID order determines new
-// ID order when nodes is sorted.
+// ID order when nodes is sorted. Nodes must be distinct. Callers holding a
+// Scratch (e.g. the Engine's pooled workers) should use its method form to
+// share remap buffers.
 func InducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
-	toNew := make(map[int]int, len(nodes))
-	orig := make([]int, len(nodes))
-	for i, v := range nodes {
-		toNew[v] = i
-		orig[i] = v
-	}
-	b := NewBuilder(len(nodes))
-	for i, v := range nodes {
-		for _, w := range g.Neighbors(v) {
-			if j, ok := toNew[w]; ok && i < j {
-				b.AddEdge(i, j)
-			}
-		}
-	}
-	return b.MustBuild(), orig
+	s := getScratch()
+	sub, orig := s.InducedSubgraph(g, nodes)
+	putScratch(s)
+	return sub, orig
 }
 
 // Eccentricity returns the maximum distance from v to any alive node
@@ -157,21 +116,9 @@ func Eccentricity(g *Graph, alive []bool, v int, dist []int) (ecc, reached int) 
 // nodes, or -1 if that subgraph is disconnected or empty. Cost is
 // O(|nodes| * edges(induced)), intended for clusters, which are small.
 func StrongDiameter(g *Graph, nodes []int) int {
-	if len(nodes) == 0 {
-		return -1
-	}
-	sub, _ := InducedSubgraph(g, nodes)
-	dist := make([]int, sub.N())
-	diam := 0
-	for v := 0; v < sub.N(); v++ {
-		order := BFS(sub, nil, []int{v}, dist)
-		if len(order) != sub.N() {
-			return -1
-		}
-		if d := dist[order[len(order)-1]]; d > diam {
-			diam = d
-		}
-	}
+	s := getScratch()
+	diam := s.StrongDiameter(g, nodes)
+	putScratch(s)
 	return diam
 }
 

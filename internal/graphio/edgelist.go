@@ -15,12 +15,13 @@ import (
 // are comments, except the directive "# n <count>", which pins the node
 // count so graphs with trailing isolated nodes round-trip. Without the
 // directive the node count is max(endpoint)+1. Duplicate edges and swapped
-// orientations are canonicalized away by the graph builder.
+// orientations are canonicalized away by the graph builder. Edges stream
+// straight into the builder's packed edge buffer — no intermediate edge
+// list is materialized.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := lineScanner(r)
-	var edges [][2]int
-	n := 0        // running node-count lower bound: max endpoint + 1
-	declared := 0 // "# n <count>" directive, 0 if absent
+	b := graph.NewAutoBuilder() // infers node count as max endpoint + 1
+	declared := 0               // "# n <count>" directive, 0 if absent
 	line := 0
 	for sc.Scan() {
 		line++
@@ -51,24 +52,20 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("edgelist line %d: self-loop at node %d", line, u)
 		}
-		if u >= n {
-			n = u + 1
-		}
-		if v >= n {
-			n = v + 1
-		}
-		edges = append(edges, [2]int{u, v})
+		b.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("edgelist: %w", err)
 	}
 	if declared > 0 {
-		if declared < n {
-			return nil, fmt.Errorf("edgelist: directive declares %d nodes but edges reference node %d", declared, n-1)
-		}
-		n = declared
+		// Errors if an edge already referenced a node >= declared.
+		b.DeclareNodes(declared)
 	}
-	return graph.FromEdges(n, edges)
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("edgelist: %w", err)
+	}
+	return g, nil
 }
 
 // edgeListDirective recognizes "# n <count>" (or "% n <count>") and returns

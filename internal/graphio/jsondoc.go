@@ -62,14 +62,99 @@ func ToDocument(g *graph.Graph) *Document {
 	return &Document{N: g.N(), Edges: edges}
 }
 
-// ReadJSON parses a JSON graph document.
+// ReadJSON parses a JSON graph document, streaming the edges array one
+// element at a time into the graph builder: the [][]int edge list of the
+// Document form is never materialized, so peak parse memory is the
+// builder's packed edge buffer plus one reused pair.
 func ReadJSON(r io.Reader) (*graph.Graph, error) {
 	dec := json.NewDecoder(r)
-	var doc Document
-	if err := dec.Decode(&doc); err != nil {
+	if err := expectDelim(dec, '{'); err != nil {
 		return nil, fmt.Errorf("graphio: decode json document: %w", err)
 	}
-	return FromDocument(&doc)
+	b := graph.NewAutoBuilder()
+	declared := 0 // "n" field; missing means 0, exactly like the Document form
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: decode json document: %w", err)
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("graphio: decode json document: unexpected token %v", keyTok)
+		}
+		switch key {
+		case "n":
+			if err := dec.Decode(&declared); err != nil {
+				return nil, fmt.Errorf("graphio: decode json document: field n: %w", err)
+			}
+			if declared < 0 {
+				return nil, fmt.Errorf("graphio: negative node count %d", declared)
+			}
+			if declared > MaxNodes {
+				return nil, fmt.Errorf("graphio: declared %d nodes exceeds limit %d", declared, MaxNodes)
+			}
+		case "edges":
+			if err := readJSONEdges(dec, b); err != nil {
+				return nil, err
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("graphio: decode json document: field %s: %w", key, err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, fmt.Errorf("graphio: decode json document: %w", err)
+	}
+	b.DeclareNodes(declared)
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+// readJSONEdges consumes the edges array (or null), feeding each pair into
+// the builder through one reused two-element slice.
+func readJSONEdges(dec *json.Decoder, b *graph.Builder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("graphio: decode json document: edges: %w", err)
+	}
+	if tok == nil {
+		return nil // "edges": null
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("graphio: decode json document: edges must be an array, got %v", tok)
+	}
+	e := make([]int, 0, 2)
+	for i := 0; dec.More(); i++ {
+		e = e[:0]
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("graphio: decode json document: edge %d: %w", i, err)
+		}
+		if len(e) != 2 {
+			return fmt.Errorf("graphio: edge %d has %d endpoints, want 2", i, len(e))
+		}
+		if e[0] >= MaxNodes || e[1] >= MaxNodes {
+			return fmt.Errorf("graphio: edge %d endpoint exceeds limit %d", i, MaxNodes)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return expectDelim(dec, ']')
+}
+
+// expectDelim consumes one token and checks it is the given delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("want %q, got %v", want, tok)
+	}
+	return nil
 }
 
 // WriteJSON serializes g as a JSON graph document.

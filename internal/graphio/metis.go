@@ -26,13 +26,11 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 		return nil, err
 	}
 	b := graph.NewBuilder(n)
-	// The hint is clamped: m is validated against n but can still be
-	// large, and the map grows organically with actual file content.
-	hint := 2 * m
-	if hint > 1<<20 {
-		hint = 1 << 20
-	}
-	seen := make(map[[2]int]struct{}, hint) // directed occurrences
+	// A directed occurrence (u, v) can only repeat within node u's own
+	// adjacency line, so duplicate detection needs no map over all 2m
+	// occurrences: one stamp slice, stamped with the current line's node,
+	// detects repeats in O(1) with a single upfront allocation.
+	lastListedBy := make([]int, n) // node v -> 1 + last u whose line listed v
 	entries := 0
 	for u := 0; u < n; u++ {
 		text, ok := nextMETISLine(sc)
@@ -54,10 +52,10 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 			if v == u {
 				return nil, fmt.Errorf("metis node %d: self-loop", u+1)
 			}
-			if _, dup := seen[[2]int{u, v}]; dup {
+			if lastListedBy[v] == u+1 {
 				return nil, fmt.Errorf("metis node %d: neighbor %d listed twice", u+1, w)
 			}
-			seen[[2]int{u, v}] = struct{}{}
+			lastListedBy[v] = u + 1
 			entries++
 			b.AddEdge(u, v)
 		}

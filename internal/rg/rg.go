@@ -27,7 +27,7 @@ package rg
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
@@ -83,12 +83,19 @@ func Carve(g *graph.Graph, nodes []int, eps float64, m *rounds.Meter) (*cluster.
 }
 
 type proposal struct {
-	node int
-	via  int
+	label int // proposed-to cluster
+	node  int
+	via   int
 }
 
+// clusterInfo is the per-cluster growth state. Labels are node ids, so the
+// state stores these as one flat slice indexed by label instead of a
+// map[int]*clusterInfo — no per-node allocation. The Steiner tree and depth
+// table are nil until the cluster's first acceptance: a nil tree means "the
+// singleton tree rooted at the label" and a nil depth table means
+// "{root: 0}", which is what the overwhelming majority of clusters (they
+// retire without ever growing) would otherwise allocate eagerly.
 type clusterInfo struct {
-	label    int
 	size     int // live members
 	tree     *cluster.Tree
 	depth    map[int]int
@@ -101,26 +108,40 @@ type state struct {
 	b     int
 	delta float64
 
+	nodes    []int // the carved set S; every cluster label is one of these
 	inS      []bool
 	alive    []bool
-	label    []int // current cluster label, -1 for dead / outside S
-	clusters map[int]*clusterInfo
+	label    []int         // current cluster label, -1 for dead / outside S
+	clusters []clusterInfo // indexed by label; meaningful only for labels in S
 
 	activeBlue []int  // candidate proposers, maintained incrementally
 	inActive   []bool // membership mask for activeBlue
+
+	// Proposal scratch, reused every step: props collects this step's
+	// proposals in blue-node order, grouped holds them bucketed by label
+	// (CSR-style counting scatter), propLabels the sorted distinct labels,
+	// propEnds the per-group end offsets into grouped, and propCount the
+	// per-label counting array (always reset to zero after a step).
+	props      []proposal
+	grouped    []proposal
+	propLabels []int
+	propEnds   []int
+	propCount  []int
 }
 
 func newState(g *graph.Graph, nodes []int, eps float64) *state {
 	n := g.N()
 	st := &state{
-		g:        g,
-		b:        labelBits(n),
-		delta:    eps / (2 * float64(labelBits(n))),
-		inS:      make([]bool, n),
-		alive:    make([]bool, n),
-		label:    make([]int, n),
-		clusters: make(map[int]*clusterInfo, len(nodes)),
-		inActive: make([]bool, n),
+		g:         g,
+		b:         labelBits(n),
+		delta:     eps / (2 * float64(labelBits(n))),
+		nodes:     nodes,
+		inS:       make([]bool, n),
+		alive:     make([]bool, n),
+		label:     make([]int, n),
+		clusters:  make([]clusterInfo, n),
+		inActive:  make([]bool, n),
+		propCount: make([]int, n),
 	}
 	for v := range st.label {
 		st.label[v] = -1
@@ -129,14 +150,18 @@ func newState(g *graph.Graph, nodes []int, eps float64) *state {
 		st.inS[v] = true
 		st.alive[v] = true
 		st.label[v] = v
-		st.clusters[v] = &clusterInfo{
-			label: v,
-			size:  1,
-			tree:  cluster.NewTree(v),
-			depth: map[int]int{v: 0},
-		}
+		st.clusters[v].size = 1
 	}
 	return st
+}
+
+// ensureTree materializes x's Steiner tree and depth table on first growth;
+// l is x's label (and tree root).
+func (st *state) ensureTree(x *clusterInfo, l int) {
+	if x.tree == nil {
+		x.tree = cluster.NewTree(l)
+		x.depth = map[int]int{l: 0}
+	}
 }
 
 func bit(x, i int) int { return (x >> i) & 1 }
@@ -167,24 +192,25 @@ func growthSteps(n int, delta float64) int {
 
 // runPhase executes one bit phase to quiescence.
 func (st *state) runPhase(phase int, m *rounds.Meter) {
-	for _, c := range st.clusters {
-		c.retired = false
+	// Cluster labels are exactly the node ids of S, so the per-phase scans
+	// walk the carved set, not all of the host graph's cluster slots.
+	for _, l := range st.nodes {
+		st.clusters[l].retired = false
 	}
 	st.seedActiveBlue(phase)
 
 	for {
-		proposals := st.collectProposals(phase)
-		if len(proposals) == 0 {
+		if st.collectProposals(phase) == 0 {
 			break
 		}
 		m.Charge("rg/propose", 2)
-		st.resolveProposals(phase, proposals, m)
+		st.resolveProposals(phase, m)
 	}
 	// Once per phase: pipelined tree maintenance over congested edges.
 	depth := 0
-	for _, c := range st.clusters {
-		if c.maxDepth > depth {
-			depth = c.maxDepth
+	for _, l := range st.nodes {
+		if d := st.clusters[l].maxDepth; d > depth {
+			depth = d
 		}
 	}
 	m.Charge("rg/congestion", int64(depth+1)*int64(phase+1))
@@ -219,11 +245,13 @@ func (st *state) addActive(v int) {
 
 // collectProposals computes this step's proposals in deterministic order:
 // every live blue candidate proposes to the smallest-label non-retired red
-// cluster among its neighbors, through its smallest-id member neighbor.
-func (st *state) collectProposals(phase int) map[int][]proposal {
-	sort.Ints(st.activeBlue)
+// cluster among its neighbors, through its smallest-id member neighbor. The
+// proposals are bucketed by label into the reusable grouped/propLabels
+// scratch (counting scatter — no per-step map) and their count is returned.
+func (st *state) collectProposals(phase int) int {
+	slices.Sort(st.activeBlue)
 	kept := st.activeBlue[:0]
-	proposals := make(map[int][]proposal)
+	st.props = st.props[:0]
 	for _, v := range st.activeBlue {
 		if !st.alive[v] || bit(st.label[v], phase) != 0 {
 			st.inActive[v] = false // joined a red cluster or died
@@ -244,7 +272,7 @@ func (st *state) collectProposals(phase int) map[int][]proposal {
 			}
 		}
 		if bestLabel >= 0 {
-			proposals[bestLabel] = append(proposals[bestLabel], proposal{node: v, via: bestVia})
+			st.props = append(st.props, proposal{label: bestLabel, node: v, via: bestVia})
 			kept = append(kept, v)
 		} else if anyRed {
 			// All adjacent red clusters are retired; the node can never be
@@ -256,28 +284,63 @@ func (st *state) collectProposals(phase int) map[int][]proposal {
 		}
 	}
 	st.activeBlue = kept
-	return proposals
+	st.groupProposals()
+	return len(st.props)
 }
 
-// resolveProposals applies accept/retire decisions for one step.
-func (st *state) resolveProposals(phase int, proposals map[int][]proposal, m *rounds.Meter) {
-	labels := make([]int, 0, len(proposals))
+// groupProposals buckets st.props by label into st.grouped: distinct labels
+// sorted in st.propLabels, group i ending at st.propEnds[i], proposals
+// within a group in blue-node order (matching the former per-label append
+// order). propCount is used as the counting/cursor array and left zeroed.
+func (st *state) groupProposals() {
+	st.propLabels = st.propLabels[:0]
+	for _, p := range st.props {
+		if st.propCount[p.label] == 0 {
+			st.propLabels = append(st.propLabels, p.label)
+		}
+		st.propCount[p.label]++
+	}
+	slices.Sort(st.propLabels)
+	if cap(st.grouped) < len(st.props) {
+		st.grouped = make([]proposal, len(st.props))
+	}
+	st.grouped = st.grouped[:len(st.props)]
+	st.propEnds = st.propEnds[:0]
+	start := 0
+	for _, l := range st.propLabels {
+		c := st.propCount[l]
+		st.propCount[l] = start // repurpose as scatter cursor
+		start += c
+		st.propEnds = append(st.propEnds, start)
+	}
+	for _, p := range st.props {
+		st.grouped[st.propCount[p.label]] = p
+		st.propCount[p.label]++
+	}
+	for _, l := range st.propLabels {
+		st.propCount[l] = 0
+	}
+}
+
+// resolveProposals applies accept/retire decisions for one step over the
+// grouped proposals.
+func (st *state) resolveProposals(phase int, m *rounds.Meter) {
 	maxDepth := 0
-	for l := range proposals {
-		labels = append(labels, l)
+	for _, l := range st.propLabels {
 		if d := st.clusters[l].maxDepth; d > maxDepth {
 			maxDepth = d
 		}
 	}
-	sort.Ints(labels)
 	m.Charge("rg/aggregate", 2*int64(maxDepth+1))
-	m.ChargeMessages(int64(len(proposals)))
+	m.ChargeMessages(int64(len(st.propLabels)))
 
-	for _, l := range labels {
-		x := st.clusters[l]
-		ps := proposals[l]
+	start := 0
+	for i, l := range st.propLabels {
+		x := &st.clusters[l]
+		ps := st.grouped[start:st.propEnds[i]]
+		start = st.propEnds[i]
 		if float64(len(ps)) >= st.delta*float64(x.size) {
-			st.accept(x, ps)
+			st.accept(x, l, ps)
 		} else {
 			x.retired = true
 			for _, p := range ps {
@@ -289,15 +352,15 @@ func (st *state) resolveProposals(phase int, proposals map[int][]proposal, m *ro
 	}
 }
 
-func (st *state) accept(x *clusterInfo, ps []proposal) {
+func (st *state) accept(x *clusterInfo, l int, ps []proposal) {
 	for _, p := range ps {
 		v := p.node
-		if !st.alive[v] || st.label[v] == x.label {
+		if !st.alive[v] || st.label[v] == l {
 			continue // resolved earlier in this step by a smaller-label cluster
 		}
-		old := st.clusters[st.label[v]]
-		old.size--
-		st.label[v] = x.label
+		st.ensureTree(x, l)
+		st.clusters[st.label[v]].size--
+		st.label[v] = l
 		x.size++
 		// The via node is a live member of x, hence already in x's tree.
 		if err := x.tree.Add(v, p.via); err != nil {
@@ -327,30 +390,37 @@ func (st *state) kill(v int) {
 }
 
 // carving materializes the final clusters in deterministic label order.
+// Labels are node ids, so ascending slice order IS sorted label order; the
+// label-to-dense-id table is one flat slice, not a map. Clusters that never
+// grew past their initial singleton get their trivial tree materialized
+// here — the only point where anyone can observe it.
 func (st *state) carving() *cluster.Carving {
 	assign := make([]int, st.g.N())
 	for v := range assign {
 		assign[v] = cluster.Unclustered
 	}
-	labels := make([]int, 0, len(st.clusters))
-	for l, c := range st.clusters {
-		if c.size > 0 {
-			labels = append(labels, l)
+	k := 0
+	id := make([]int, len(st.clusters))
+	for l := range st.clusters {
+		if st.inS[l] && st.clusters[l].size > 0 {
+			id[l] = k
+			k++
 		}
 	}
-	sort.Ints(labels)
-	id := make(map[int]int, len(labels))
-	centers := make([]int, len(labels))
-	trees := make([]*cluster.Tree, len(labels))
-	for i, l := range labels {
-		id[l] = i
-		centers[i] = st.clusters[l].tree.Root
-		trees[i] = st.clusters[l].tree
+	centers := make([]int, k)
+	trees := make([]*cluster.Tree, k)
+	for l := range st.clusters {
+		if !st.inS[l] || st.clusters[l].size <= 0 {
+			continue
+		}
+		st.ensureTree(&st.clusters[l], l)
+		centers[id[l]] = st.clusters[l].tree.Root
+		trees[id[l]] = st.clusters[l].tree
 	}
 	for v, ok := range st.alive {
 		if ok {
 			assign[v] = id[st.label[v]]
 		}
 	}
-	return &cluster.Carving{Assign: assign, K: len(labels), Centers: centers, Trees: trees}
+	return &cluster.Carving{Assign: assign, K: k, Centers: centers, Trees: trees}
 }

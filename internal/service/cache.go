@@ -120,16 +120,16 @@ func newResultCache(max int) *resultCache { return &resultCache{newLRU[cacheKey,
 // graphStore is the LRU over uploaded graphs, keyed by content hash.
 // Storing the same graph twice is a no-op refresh (identical hash, and any
 // value for a hash is by construction the same graph). Besides the entry
-// bound it enforces a total size budget in node+edge units, so tiny
-// requests declaring huge node counts cannot pin gigabytes behind a small
-// entry count; a graph too large for the whole budget is simply not
-// retained (requests carrying it inline still compute).
+// bound it enforces a total size budget in bytes — each entry weighted by
+// the real resident footprint of its CSR arrays (graph.MemoryFootprint),
+// not abstract node+edge units — so tiny requests declaring huge node
+// counts cannot pin gigabytes behind a small entry count; a graph too
+// large for the whole budget is simply not retained (requests carrying it
+// inline still compute).
 type graphStore struct{ *lru[string, *graph.Graph] }
 
 func newGraphStore(max, budget int) *graphStore {
-	return &graphStore{newWeightedLRU[string](max, budget, func(g *graph.Graph) int {
-		return g.N() + 2*g.M()
-	})}
+	return &graphStore{newWeightedLRU[string](max, budget, (*graph.Graph).MemoryFootprint)}
 }
 
 // runnerTable lazily builds and caches one Runner per algorithm name, so a

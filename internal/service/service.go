@@ -66,9 +66,9 @@ type Config struct {
 	// GraphStoreSize bounds the uploaded-graph store entries (default 128;
 	// negative disables the store, forcing inline graphs).
 	GraphStoreSize int
-	// GraphStoreBudget bounds the store's total size in node+edge units
-	// (default 1<<25, roughly a few hundred MB of adjacency); graphs that
-	// alone exceed the budget are not retained.
+	// GraphStoreBudget bounds the store's total size in bytes of resident
+	// CSR adjacency, measured by graph.MemoryFootprint (default 1<<28,
+	// 256 MiB); graphs that alone exceed the budget are not retained.
 	GraphStoreBudget int
 	// Timeout bounds each request's computation; 0 means no service-side
 	// limit (the caller's context still applies).
@@ -103,7 +103,7 @@ func New(cfg Config) *Service {
 		cfg.GraphStoreSize = 128
 	}
 	if cfg.GraphStoreBudget == 0 {
-		cfg.GraphStoreBudget = 1 << 25
+		cfg.GraphStoreBudget = 1 << 28
 	}
 	return &Service{
 		cfg:     cfg,

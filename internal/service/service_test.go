@@ -406,14 +406,15 @@ func TestServiceErrors(t *testing.T) {
 // entries, and a graph exceeding the whole budget is not retained.
 func TestServiceGraphStoreBudget(t *testing.T) {
 	algo, _ := registerStub(t, nil)
-	s := New(Config{GraphStoreBudget: 100})
-	small := graph.Path(10) // weight 10 + 2*9 = 28
+	// Weights are real CSR bytes: 8*(n+1) offsets + 8*2m targets + 64.
+	s := New(Config{GraphStoreBudget: 1000})
+	small := graph.Path(10) // weight 8*(11+18) + 64 = 296
 	hSmall := s.PutGraph(small)
 	if _, ok := s.GetGraph(hSmall); !ok {
 		t.Fatal("small graph not stored")
 	}
 
-	big := graph.Path(40) // weight 40 + 2*39 = 118 > 100
+	big := graph.Path(40) // weight 8*(41+78) + 64 = 1016 > 1000
 	if hBig := s.PutGraph(big); hBig == "" {
 		t.Fatal("PutGraph must still return the hash")
 	} else if _, ok := s.GetGraph(hBig); ok {
@@ -427,13 +428,13 @@ func TestServiceGraphStoreBudget(t *testing.T) {
 	}
 
 	// Medium graphs evict older ones instead of overflowing the budget.
-	g1, g2 := graph.Cycle(20), graph.Grid(4, 5) // weights 60 and 82
+	g1, g2 := graph.Cycle(20), graph.Grid(4, 5) // weights 552 and 728
 	h1, h2 := s.PutGraph(g1), s.PutGraph(g2)
 	if _, ok := s.GetGraph(h2); !ok {
 		t.Fatal("most recent graph missing from store")
 	}
 	if _, ok := s.GetGraph(h1); ok {
-		t.Fatal("budget exceeded: both medium graphs retained (60+82 > 100)")
+		t.Fatal("budget exceeded: both medium graphs retained (552+728 > 1000)")
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package strongdecomp
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under -race because sync.Pool intentionally drops
+// items there, making AllocsPerRun nondeterministic.
+const raceEnabled = false
