@@ -8,11 +8,19 @@
 // detected by extension) instead of a generator; -omit-edges drops the
 // edge list from the output document for large graphs (pair it with
 // verify -input so the verifier reloads the graph from the same file).
+// With -stream the result is emitted as an NDJSON cluster stream (header,
+// one record per cluster, end record) instead of one JSON document, so
+// huge results pipe without a second in-memory copy.
+//
+// Internally the flag set resolves into one canonical strongdecomp.Params
+// executed with strongdecomp.Run — the same request value the serving
+// layer validates and caches on.
 //
 // Usage:
 //
 //	decompose -gen gnp -n 1024 -algo chang-ghaffari [-carve] [-eps 0.5] [-seed 1] [-timeout 30s]
 //	decompose -input web.metis -algo mpx [-omit-edges]
+//	decompose -gen grid -n 4096 -stream | consumer
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"text/tabwriter"
 
 	"strongdecomp"
+	"strongdecomp/internal/graphio"
 )
 
 // Result is the JSON document exchanged between decompose and verify.
@@ -65,6 +74,7 @@ func run() error {
 		eps       = flag.Float64("eps", 0.5, "carving boundary parameter")
 		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
+		stream    = flag.Bool("stream", false, "emit the result as an NDJSON cluster stream instead of one JSON document")
 		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()
@@ -97,38 +107,52 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	d, err := strongdecomp.Lookup(*algo)
+	// One canonical Params value carries the whole flag set into the run.
+	p := strongdecomp.Params{
+		Algorithm: *algo,
+		Kind:      strongdecomp.KindDecompose,
+		Seed:      *seed,
+		Meter:     true,
+	}
+	if *carve {
+		p.Kind, p.Eps = strongdecomp.KindCarve, *eps
+	}
+	out, err := strongdecomp.Run(ctx, g, p)
 	if err != nil {
 		return err
 	}
-	meter := strongdecomp.NewMeter()
-	opts := &strongdecomp.RunOptions{Seed: *seed, Meter: meter}
+
+	if *stream {
+		hdr := graphio.StreamHeader{
+			Kind: string(out.Params.Kind), Algo: out.Params.Algorithm,
+			GraphHash: strongdecomp.HashGraph(g), N: g.N(),
+			Eps: out.Params.Eps, Seed: out.Params.Seed, Rounds: out.Rounds,
+		}
+		if out.Carving != nil {
+			hdr.K = out.Carving.K
+			return graphio.WriteClusterStream(os.Stdout, hdr, out.Carving.Clusters())
+		}
+		hdr.K, hdr.Colors = out.Decomposition.K, out.Decomposition.Colors
+		return graphio.WriteClusterStream(os.Stdout, hdr, out.Decomposition.Clusters())
+	}
+
 	res := Result{
 		N: g.N(), Source: *input, Hash: strongdecomp.HashGraph(g),
-		Algo: d.Info().Name, Seed: *seed,
+		Algo: out.Params.Algorithm, Seed: *seed, Rounds: out.Rounds,
 	}
 	if *omitEdges {
 		res.EdgesOmitted = true
 	} else {
 		res.Edges = g.Edges()
 	}
-
-	if *carve {
-		c, err := d.Carve(ctx, g, *eps, opts)
-		if err != nil {
-			return err
-		}
+	if out.Carving != nil {
 		res.Mode, res.Eps = "carve", *eps
-		res.Assign, res.K = c.Assign, c.K
+		res.Assign, res.K = out.Carving.Assign, out.Carving.K
 	} else {
-		dec, err := d.Decompose(ctx, g, opts)
-		if err != nil {
-			return err
-		}
 		res.Mode = "decompose"
+		dec := out.Decomposition
 		res.Assign, res.Color, res.K, res.Colors = dec.Assign, dec.Color, dec.K, dec.Colors
 	}
-	res.Rounds = meter.Rounds()
 	return json.NewEncoder(os.Stdout).Encode(res)
 }
 

@@ -5,16 +5,21 @@
 //
 // Endpoints (see internal/service/httpapi):
 //
-//	GET  /healthz        liveness
-//	GET  /metrics        service + engine counters
-//	GET  /v1/algorithms  registered constructions
-//	POST /v1/graphs      upload a graph (?format=edgelist|metis|json)
-//	POST /v1/decompose   {"graph": {...} | "hash": "...", "algo": "...", "seed": 1}
-//	POST /v1/carve       same, plus "eps"
+//	GET    /healthz              liveness
+//	GET    /metrics              service + engine counters
+//	GET    /v1/algorithms        registered constructions
+//	POST   /v1/graphs            upload a graph (?format=edgelist|metis|json)
+//	POST   /v1/decompose         {"graph": {...} | "hash": "...", "algo": "...", "seed": 1}
+//	POST   /v1/carve             same, plus "eps"
+//	POST   /v2/jobs              async submit (adds "kind", "timeout_ms"); 202 + job ID
+//	GET    /v2/jobs/{id}         job state machine snapshot
+//	DELETE /v2/jobs/{id}         cancel by ID
+//	GET    /v2/jobs/{id}/result  result; ?stream=1 for NDJSON cluster streaming
 //
 // Usage:
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
+//	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m]
 package main
 
 import (
@@ -50,6 +55,10 @@ func run() error {
 		graphs  = flag.Int("graphs", 128, "uploaded-graph store entries")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0: none)")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		jobQueue   = flag.Int("job-queue", 64, "async job queue bound (full queue answers 429)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent async jobs")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results")
 	)
 	flag.Parse()
 
@@ -62,7 +71,11 @@ func run() error {
 		strongdecomp.WithServiceCacheSize(*cache),
 		strongdecomp.WithServiceGraphStore(*graphs),
 		strongdecomp.WithServiceTimeout(*timeout),
+		strongdecomp.WithServiceJobQueue(*jobQueue),
+		strongdecomp.WithServiceJobWorkers(*jobWorkers),
+		strongdecomp.WithServiceJobTTL(*jobTTL),
 	)
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpapi.New(svc),

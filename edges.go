@@ -25,8 +25,11 @@ func BallCarveEdges(g *Graph, eps float64, opts ...Option) (*EdgeCarving, error)
 // BallCarveEdgesContext is BallCarveEdges with cancellation and deadline
 // support; a canceled run returns an error matching ErrCanceled.
 func BallCarveEdgesContext(ctx context.Context, g *Graph, eps float64, opts ...Option) (*EdgeCarving, error) {
-	o := buildOptions(opts)
-	return core.CarveEdgesRGContext(ctx, g, o.nodes, eps, o.meter)
+	p, meter := buildParams(KindCarve, eps, opts)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return core.CarveEdgesRGContext(ctx, g, p.Nodes, eps, meter)
 }
 
 // VerifyEdgeCarving checks the edge-carving contract: full assignment, cut
@@ -41,8 +44,8 @@ func VerifyEdgeCarving(g *Graph, ec *EdgeCarving, eps float64, maxDiam int) erro
 // network decomposition color by color — the paper's motivating application
 // template. The attached meter (if any) receives the C·D schedule cost.
 func MIS(g *Graph, d *Decomposition, opts ...Option) ([]bool, error) {
-	o := buildOptions(opts)
-	return apps.MIS(g, d, o.meter)
+	_, meter := buildParams(KindDecompose, 0, opts)
+	return apps.MIS(g, d, meter)
 }
 
 // VerifyMIS checks independence and maximality of a candidate MIS.
@@ -51,8 +54,8 @@ func VerifyMIS(g *Graph, inMIS []bool) error { return apps.VerifyMIS(g, inMIS) }
 // ColorGraph computes a (Δ+1) vertex coloring of g by the color-by-color
 // template over a network decomposition.
 func ColorGraph(g *Graph, d *Decomposition, opts ...Option) ([]int, error) {
-	o := buildOptions(opts)
-	return apps.ColorGraph(g, d, o.meter)
+	_, meter := buildParams(KindDecompose, 0, opts)
+	return apps.ColorGraph(g, d, meter)
 }
 
 // VerifyColoring checks that a coloring is proper and fits in maxColors.

@@ -135,23 +135,72 @@ func (s EngineStats) Counters() map[string]int64 {
 	}
 }
 
-// Carve runs the engine's construction as a ball carving. Like Decompose,
-// a multi-component graph (with no Nodes restriction) is carved per
-// component concurrently and merged: each component removes at most an eps
-// fraction of its own nodes, so the merged carving meets the bound too.
+// Run executes one canonical Params on the engine: the v2 entry point.
+// The Params is normalized and validated (an empty Algorithm means the
+// engine's configured construction), multi-component graphs run their
+// components concurrently on the worker pool, and metering is opt-in via
+// p.Meter with the total reported on Outcome.Rounds. Carve, Decompose,
+// and DecomposeBatch are thin shims over the same internals.
+func (e *Engine) Run(ctx context.Context, g *Graph, p Params) (*Outcome, error) {
+	if p.Algorithm == "" {
+		p.Algorithm = e.algo
+	}
+	p = p.Normalized()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var meter *rounds.Meter
+	if p.Meter {
+		meter = rounds.NewMeter()
+	}
+	out := &Outcome{Params: p}
+	switch p.Kind {
+	case KindCarve:
+		c, err := e.carve(ctx, g, p, meter)
+		if err != nil {
+			return nil, err
+		}
+		out.Carving = c
+	case KindDecompose:
+		d, err := e.decomposeGraph(ctx, g, p, meter, true)
+		if err != nil {
+			return nil, err
+		}
+		out.Decomposition = d
+	}
+	if meter != nil {
+		out.Rounds = meter.Rounds()
+	}
+	return out, nil
+}
+
+// Carve runs the engine's construction as a ball carving.
+//
+// Deprecated: build a Params{Kind: KindCarve, ...} and call Run; this
+// positional (eps, opts) form survives only for existing callers.
 func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOptions) (*Carving, error) {
-	d, err := Lookup(e.algo)
+	o := opts.Normalized()
+	p := Params{Algorithm: e.algo, Kind: KindCarve, Eps: eps, Seed: o.Seed, Nodes: o.Nodes}
+	return e.carve(ctx, g, p, o.Meter)
+}
+
+// carve is the carving core: like decomposeGraph, a multi-component graph
+// (with no Nodes restriction) is carved per component concurrently and
+// merged — each component removes at most an eps fraction of its own
+// nodes, so the merged carving meets the bound too. dst (which may be
+// nil) receives the parallel (max) fold of the per-component costs.
+func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Meter) (*Carving, error) {
+	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	o := opts.Normalized()
 	var comps [][]int
-	if o.Nodes == nil {
+	if p.Nodes == nil {
 		comps = e.components(g)
 	}
 	if len(comps) <= 1 {
 		e.runs.Add(1)
-		return d.Carve(ctx, g, eps, &o)
+		return d.Carve(ctx, g, p.Eps, &RunOptions{Seed: p.Seed, Meter: dst, Nodes: p.Nodes})
 	}
 	e.merges.Add(1)
 
@@ -160,10 +209,8 @@ func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOpti
 	err = e.runPool(ctx, len(comps), func(ctx context.Context, i int) error {
 		e.runs.Add(1)
 		sub, nodeOf := e.inducedSubgraph(g, comps[i])
-		ro := o
-		ro.Seed = o.Seed + int64(i)
-		ro.Meter = rounds.NewMeter()
-		c, err := d.Carve(ctx, sub, eps, &ro)
+		ro := &RunOptions{Seed: p.Seed + int64(i), Meter: rounds.NewMeter()}
+		c, err := d.Carve(ctx, sub, p.Eps, ro)
 		if err != nil {
 			return fmt.Errorf("component %d: %w", i, err)
 		}
@@ -174,7 +221,7 @@ func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOpti
 	if err != nil {
 		return nil, err
 	}
-	mergeParallelInto(o.Meter, meters)
+	mergeParallelInto(dst, meters)
 	return cluster.MergeCarvings(g.N(), pieces)
 }
 
@@ -183,8 +230,13 @@ func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOpti
 // with seed opts.Seed + i, so results are deterministic regardless of
 // scheduling. The attached meter receives the parallel (max) fold of the
 // per-component costs.
+//
+// Deprecated: build a Params{Kind: KindDecompose, ...} and call Run; this
+// *RunOptions form survives only for existing callers.
 func (e *Engine) Decompose(ctx context.Context, g *Graph, opts *RunOptions) (*Decomposition, error) {
-	return e.decomposeGraph(ctx, g, opts, true)
+	o := opts.Normalized()
+	p := Params{Algorithm: e.algo, Kind: KindDecompose, Seed: o.Seed}
+	return e.decomposeGraph(ctx, g, p, o.Meter, true)
 }
 
 // DecomposeBatch decomposes every graph of the batch on the worker pool and
@@ -196,17 +248,16 @@ func (e *Engine) DecomposeBatch(ctx context.Context, gs []*Graph, opts *RunOptio
 	out := make([]*Decomposition, len(gs))
 	meters := make([]*rounds.Meter, len(gs))
 	err := e.runPool(ctx, len(gs), func(ctx context.Context, i int) error {
-		ro := o
-		ro.Seed = o.Seed + int64(i)
-		ro.Meter = rounds.NewMeter()
+		p := Params{Algorithm: e.algo, Kind: KindDecompose, Seed: o.Seed + int64(i)}
+		m := rounds.NewMeter()
 		// Components of one batch item run sequentially: batch-level
 		// parallelism already saturates the pool.
-		d, err := e.decomposeGraph(ctx, gs[i], &ro, false)
+		d, err := e.decomposeGraph(ctx, gs[i], p, m, false)
 		if err != nil {
 			return fmt.Errorf("graph %d: %w", i, err)
 		}
 		out[i] = d
-		meters[i] = ro.Meter
+		meters[i] = m
 		return nil
 	})
 	if err != nil {
@@ -231,18 +282,18 @@ func mergeParallelInto(dst *rounds.Meter, meters []*rounds.Meter) {
 	dst.Merge(phase)
 }
 
-// decomposeGraph decomposes one graph, splitting it into connected
-// components and running them in parallel when parallel is set.
-func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions, parallel bool) (*Decomposition, error) {
-	d, err := Lookup(e.algo)
+// decomposeGraph is the decomposition core: it splits g into connected
+// components and runs them in parallel when parallel is set. dst (which
+// may be nil) receives the parallel (max) fold of the per-component costs.
+func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, p Params, dst *rounds.Meter, parallel bool) (*Decomposition, error) {
+	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	o := opts.Normalized()
 	comps := e.components(g)
 	if len(comps) <= 1 {
 		e.runs.Add(1)
-		return d.Decompose(ctx, g, &o)
+		return d.Decompose(ctx, g, &RunOptions{Seed: p.Seed, Meter: dst})
 	}
 	e.merges.Add(1)
 
@@ -251,11 +302,8 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions,
 	runOne := func(ctx context.Context, i int) error {
 		e.runs.Add(1)
 		sub, nodeOf := e.inducedSubgraph(g, comps[i])
-		ro := o
-		ro.Seed = o.Seed + int64(i)
-		ro.Nodes = nil
-		ro.Meter = rounds.NewMeter()
-		dec, err := d.Decompose(ctx, sub, &ro)
+		ro := &RunOptions{Seed: p.Seed + int64(i), Meter: rounds.NewMeter()}
+		dec, err := d.Decompose(ctx, sub, ro)
 		if err != nil {
 			return fmt.Errorf("component %d: %w", i, err)
 		}
@@ -275,7 +323,7 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, opts *RunOptions,
 	if err != nil {
 		return nil, err
 	}
-	mergeParallelInto(o.Meter, meters)
+	mergeParallelInto(dst, meters)
 	return cluster.MergeDecompositions(g.N(), pieces)
 }
 

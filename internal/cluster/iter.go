@@ -1,0 +1,99 @@
+package cluster
+
+// Streaming cluster iteration. Serving multi-million-node results as one
+// JSON document needs a second full in-memory representation (per-cluster
+// [][]int member lists, or one giant assign array inside an encoder
+// buffer). The iterators here yield one cluster at a time over a single
+// counting-scatter permutation of the assignment — O(n) ints once, with
+// every yielded member list a zero-copy view into that shared buffer — so
+// an NDJSON encoder can stream clusters straight to the wire.
+
+import "iter"
+
+// ClusterView is one cluster yielded during streaming iteration.
+type ClusterView struct {
+	// ID is the cluster id in [0, K).
+	ID int
+	// Color is the cluster color for decompositions, -1 for carvings.
+	Color int
+	// Center is the cluster center when the construction reported one,
+	// -1 otherwise.
+	Center int
+	// Members are the cluster's nodes in ascending order. The slice is a
+	// read-only view into a buffer shared by the whole iteration — copy
+	// it if it must outlive the yield.
+	Members []int
+}
+
+// memberIndex is the counting-scatter layout shared by both iterators:
+// order holds the nodes of cluster c at order[offsets[c]:offsets[c+1]],
+// ascending within each cluster (nodes are scanned in increasing order).
+func memberIndex(assign []int, k int) (offsets []int, order []int) {
+	offsets = make([]int, k+1)
+	kept := 0
+	for _, c := range assign {
+		if c != Unclustered {
+			offsets[c+1]++
+			kept++
+		}
+	}
+	for c := 0; c < k; c++ {
+		offsets[c+1] += offsets[c]
+	}
+	order = make([]int, kept)
+	next := make([]int, k)
+	copy(next, offsets[:k])
+	for v, c := range assign {
+		if c != Unclustered {
+			order[next[c]] = v
+			next[c]++
+		}
+	}
+	return offsets, order
+}
+
+// Clusters iterates the carving's clusters in id order. Dead nodes
+// (Assign == Unclustered) belong to no yielded cluster; consumers
+// reconstructing an assignment mark missing nodes Unclustered.
+func (c *Carving) Clusters() iter.Seq[ClusterView] {
+	return func(yield func(ClusterView) bool) {
+		offsets, order := memberIndex(c.Assign, c.K)
+		for id := 0; id < c.K; id++ {
+			center := -1
+			if id < len(c.Centers) {
+				center = c.Centers[id]
+			}
+			v := ClusterView{
+				ID:      id,
+				Color:   -1,
+				Center:  center,
+				Members: order[offsets[id]:offsets[id+1]],
+			}
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// Clusters iterates the decomposition's clusters in id order.
+func (d *Decomposition) Clusters() iter.Seq[ClusterView] {
+	return func(yield func(ClusterView) bool) {
+		offsets, order := memberIndex(d.Assign, d.K)
+		for id := 0; id < d.K; id++ {
+			center := -1
+			if id < len(d.Centers) {
+				center = d.Centers[id]
+			}
+			v := ClusterView{
+				ID:      id,
+				Color:   d.Color[id],
+				Center:  center,
+				Members: order[offsets[id]:offsets[id+1]],
+			}
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}

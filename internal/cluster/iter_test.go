@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestCarvingClusters(t *testing.T) {
+	c := &Carving{
+		Assign:  []int{1, Unclustered, 0, 1, 0, Unclustered, 2},
+		K:       3,
+		Centers: []int{2, 0, 6},
+	}
+	var got []ClusterView
+	for v := range c.Clusters() {
+		members := append([]int(nil), v.Members...) // views share a buffer
+		got = append(got, ClusterView{ID: v.ID, Color: v.Color, Center: v.Center, Members: members})
+	}
+	want := []ClusterView{
+		{ID: 0, Color: -1, Center: 2, Members: []int{2, 4}},
+		{ID: 1, Color: -1, Center: 0, Members: []int{0, 3}},
+		{ID: 2, Color: -1, Center: 6, Members: []int{6}},
+	}
+	checkViews(t, got, want)
+}
+
+func TestDecompositionClusters(t *testing.T) {
+	d := &Decomposition{
+		Assign: []int{0, 1, 0, 2, 1},
+		Color:  []int{0, 1, 0},
+		K:      3,
+		Colors: 2,
+	}
+	var got []ClusterView
+	for v := range d.Clusters() {
+		members := append([]int(nil), v.Members...)
+		got = append(got, ClusterView{ID: v.ID, Color: v.Color, Center: v.Center, Members: members})
+	}
+	want := []ClusterView{
+		{ID: 0, Color: 0, Center: -1, Members: []int{0, 2}},
+		{ID: 1, Color: 1, Center: -1, Members: []int{1, 4}},
+		{ID: 2, Color: 0, Center: -1, Members: []int{3}},
+	}
+	checkViews(t, got, want)
+}
+
+// TestClustersMatchesMembers: the streaming iterator and the materializing
+// Members() agree on every cluster, and early termination is honored.
+func TestClustersMatchesMembers(t *testing.T) {
+	d := &Decomposition{
+		Assign: []int{3, 0, 1, 2, 3, 0, 1, 2, 0},
+		Color:  []int{0, 1, 0, 1},
+		K:      4,
+		Colors: 2,
+	}
+	members := d.Members()
+	n := 0
+	for v := range d.Clusters() {
+		if len(v.Members) != len(members[v.ID]) {
+			t.Fatalf("cluster %d: %d members streamed, %d materialized", v.ID, len(v.Members), len(members[v.ID]))
+		}
+		for i, m := range v.Members {
+			if m != members[v.ID][i] {
+				t.Fatalf("cluster %d member %d: %d vs %d", v.ID, i, m, members[v.ID][i])
+			}
+		}
+		n++
+	}
+	if n != d.K {
+		t.Fatalf("streamed %d clusters, want %d", n, d.K)
+	}
+
+	stopped := 0
+	for range d.Clusters() {
+		stopped++
+		break
+	}
+	if stopped != 1 {
+		t.Fatal("early break not honored")
+	}
+}
+
+func TestClustersAllocations(t *testing.T) {
+	assign := make([]int, 4096)
+	color := make([]int, 8)
+	for i := range assign {
+		assign[i] = i % 8
+	}
+	d := &Decomposition{Assign: assign, Color: color, K: 8, Colors: 1}
+	allocs := testing.AllocsPerRun(10, func() {
+		for v := range d.Clusters() {
+			_ = v.Members
+		}
+	})
+	// One offsets + one order + one next slice per full iteration; the
+	// per-cluster views must not allocate.
+	if allocs > 4 {
+		t.Errorf("full iteration allocates %v times, want <= 4", allocs)
+	}
+}
+
+func checkViews(t *testing.T, got, want []ClusterView) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("yielded %d clusters, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.ID != w.ID || g.Color != w.Color || g.Center != w.Center {
+			t.Errorf("cluster %d: got %+v, want %+v", i, g, w)
+		}
+		if len(g.Members) != len(w.Members) {
+			t.Errorf("cluster %d: members %v, want %v", i, g.Members, w.Members)
+			continue
+		}
+		for j := range w.Members {
+			if g.Members[j] != w.Members[j] {
+				t.Errorf("cluster %d: members %v, want %v", i, g.Members, w.Members)
+				break
+			}
+		}
+	}
+}

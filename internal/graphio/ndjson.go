@@ -1,0 +1,169 @@
+package graphio
+
+// NDJSON result streaming: a decomposition or carving result serialized
+// as newline-delimited JSON — one header record, one record per cluster,
+// one end record — so multi-million-node results flow to the wire (or to
+// a pipe) cluster by cluster without a second full in-memory copy of the
+// assignment. The cluster records are fed from the zero-copy iterators on
+// cluster.Carving/Decomposition (see cluster.Clusters).
+//
+//	{"type":"header","kind":"decompose","algo":"chang-ghaffari","n":8,"k":3,"colors":2,...}
+//	{"type":"cluster","id":0,"color":0,"members":[0,2]}
+//	{"type":"cluster","id":1,"color":1,"members":[1,4]}
+//	...
+//	{"type":"end","clusters":3}
+//
+// The trailing end record carries the cluster count, so a consumer can
+// distinguish a complete stream from a truncated one.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+
+	"strongdecomp/internal/cluster"
+)
+
+// StreamHeader is the first record of an NDJSON result stream.
+type StreamHeader struct {
+	Type string `json:"type"` // always "header"
+	// Kind is "carve" or "decompose".
+	Kind string `json:"kind"`
+	Algo string `json:"algo"`
+	// GraphHash is the content hash of the input graph (optional).
+	GraphHash string  `json:"graph_hash,omitempty"`
+	N         int     `json:"n"`
+	K         int     `json:"k"`
+	Colors    int     `json:"colors,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	Seed      int64   `json:"seed"`
+	Rounds    int64   `json:"rounds,omitempty"`
+}
+
+// StreamCluster is one cluster record of an NDJSON result stream. Color
+// and Center use -1 for "absent" in the cluster package; on the wire they
+// are simply omitted then.
+type StreamCluster struct {
+	Type    string `json:"type"` // always "cluster"
+	ID      int    `json:"id"`
+	Color   *int   `json:"color,omitempty"`
+	Center  *int   `json:"center,omitempty"`
+	Members []int  `json:"members"`
+}
+
+// streamEnd terminates a stream; Clusters echoes the emitted count.
+type streamEnd struct {
+	Type     string `json:"type"` // always "end"
+	Clusters int    `json:"clusters"`
+}
+
+// WriteClusterStream writes an NDJSON result stream: the header, one
+// record per yielded cluster, and the end record. Each record is written
+// (and flushed to w by the buffered writer) as it is produced, so memory
+// stays bounded by one cluster regardless of the result size.
+func WriteClusterStream(w io.Writer, hdr StreamHeader, clusters iter.Seq[cluster.ClusterView]) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr.Type = "header"
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("graphio: encode stream header: %w", err)
+	}
+	count := 0
+	rec := StreamCluster{Type: "cluster"}
+	for v := range clusters {
+		rec.ID = v.ID
+		rec.Color, rec.Center = nil, nil
+		if v.Color >= 0 {
+			color := v.Color
+			rec.Color = &color
+		}
+		if v.Center >= 0 {
+			center := v.Center
+			rec.Center = &center
+		}
+		rec.Members = v.Members
+		if v.Members == nil {
+			rec.Members = []int{} // "members":[] beats "members":null on the wire
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("graphio: encode cluster %d: %w", v.ID, err)
+		}
+		count++
+	}
+	if err := enc.Encode(streamEnd{Type: "end", Clusters: count}); err != nil {
+		return fmt.Errorf("graphio: encode stream end: %w", err)
+	}
+	return bw.Flush()
+}
+
+// StreamResult is a fully decoded NDJSON result stream.
+type StreamResult struct {
+	Header   StreamHeader
+	Clusters []StreamCluster
+}
+
+// Assign reconstructs the node → cluster assignment from the cluster
+// records (Unclustered for nodes in no cluster) — the inverse of the
+// streaming encode, used by consumers and the round-trip tests.
+func (r *StreamResult) Assign() ([]int, error) {
+	assign := make([]int, r.Header.N)
+	for i := range assign {
+		assign[i] = cluster.Unclustered
+	}
+	for _, c := range r.Clusters {
+		for _, v := range c.Members {
+			if v < 0 || v >= len(assign) {
+				return nil, fmt.Errorf("graphio: cluster %d member %d outside [0, %d)", c.ID, v, len(assign))
+			}
+			if assign[v] != cluster.Unclustered {
+				return nil, fmt.Errorf("graphio: node %d in clusters %d and %d", v, assign[v], c.ID)
+			}
+			assign[v] = c.ID
+		}
+	}
+	return assign, nil
+}
+
+// ReadClusterStream decodes an NDJSON result stream, verifying framing:
+// exactly one leading header, a terminal end record, and a cluster count
+// matching the records seen (so truncated streams are detected).
+func ReadClusterStream(r io.Reader) (*StreamResult, error) {
+	dec := json.NewDecoder(r)
+	var out StreamResult
+
+	var hdr StreamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("graphio: decode stream header: %w", err)
+	}
+	if hdr.Type != "header" {
+		return nil, fmt.Errorf("graphio: first record is %q, want \"header\"", hdr.Type)
+	}
+	out.Header = hdr
+
+	for {
+		var raw struct {
+			StreamCluster
+			Clusters int `json:"clusters"`
+		}
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, errors.New("graphio: stream truncated: no end record")
+			}
+			return nil, fmt.Errorf("graphio: decode stream record: %w", err)
+		}
+		switch raw.Type {
+		case "cluster":
+			out.Clusters = append(out.Clusters, raw.StreamCluster)
+		case "end":
+			if raw.Clusters != len(out.Clusters) {
+				return nil, fmt.Errorf("graphio: end record claims %d clusters, stream carried %d", raw.Clusters, len(out.Clusters))
+			}
+			return &out, nil
+		default:
+			return nil, fmt.Errorf("graphio: unknown stream record type %q", raw.Type)
+		}
+	}
+}

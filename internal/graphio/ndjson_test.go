@@ -1,0 +1,134 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"strongdecomp/internal/cluster"
+)
+
+func TestClusterStreamRoundTripDecomposition(t *testing.T) {
+	d := &cluster.Decomposition{
+		Assign: []int{0, 1, 0, 2, 1, 2, 2},
+		Color:  []int{0, 1, 0},
+		K:      3,
+		Colors: 2,
+	}
+	var buf bytes.Buffer
+	hdr := StreamHeader{Kind: "decompose", Algo: "test", N: 7, K: 3, Colors: 2, Seed: 4, Rounds: 11}
+	if err := WriteClusterStream(&buf, hdr, d.Clusters()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClusterStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Kind != "decompose" || got.Header.N != 7 || got.Header.K != 3 || got.Header.Rounds != 11 {
+		t.Fatalf("header changed: %+v", got.Header)
+	}
+	if len(got.Clusters) != 3 {
+		t.Fatalf("streamed %d clusters, want 3", len(got.Clusters))
+	}
+	for _, c := range got.Clusters {
+		if c.Color == nil || *c.Color != d.Color[c.ID] {
+			t.Errorf("cluster %d color lost or wrong: %v", c.ID, c.Color)
+		}
+	}
+	assign, err := got.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range d.Assign {
+		if assign[v] != d.Assign[v] {
+			t.Fatalf("assignment changed at node %d: %d vs %d", v, assign[v], d.Assign[v])
+		}
+	}
+}
+
+func TestClusterStreamRoundTripCarving(t *testing.T) {
+	c := &cluster.Carving{
+		Assign:  []int{0, cluster.Unclustered, 1, 0, cluster.Unclustered},
+		K:       2,
+		Centers: []int{0, 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterStream(&buf, StreamHeader{Kind: "carve", N: 5, K: 2, Eps: 0.5}, c.Clusters()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClusterStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range got.Clusters {
+		if sc.Color != nil {
+			t.Errorf("carving cluster %d carries a color", sc.ID)
+		}
+		if sc.Center == nil || *sc.Center != c.Centers[sc.ID] {
+			t.Errorf("cluster %d center lost: %v", sc.ID, sc.Center)
+		}
+	}
+	assign, err := got.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dead nodes come back Unclustered — exactly the encoder's contract.
+	for v := range c.Assign {
+		if assign[v] != c.Assign[v] {
+			t.Fatalf("assignment changed at node %d: %d vs %d", v, assign[v], c.Assign[v])
+		}
+	}
+}
+
+func TestClusterStreamFraming(t *testing.T) {
+	d := &cluster.Decomposition{Assign: []int{0, 0}, Color: []int{0}, K: 1, Colors: 1}
+	var buf bytes.Buffer
+	if err := WriteClusterStream(&buf, StreamHeader{Kind: "decompose", N: 2, K: 1}, d.Clusters()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+
+	// Dropping the end record must be detected.
+	lines := strings.Split(strings.TrimSpace(full), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n")
+	if _, err := ReadClusterStream(strings.NewReader(truncated)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// A stream that is not NDJSON at all.
+	if _, err := ReadClusterStream(strings.NewReader("{\"type\":\"cluster\"}\n")); err == nil {
+		t.Error("stream without header accepted")
+	}
+	// Duplicate membership must be rejected on reconstruction.
+	bad := &StreamResult{
+		Header:   StreamHeader{N: 3},
+		Clusters: []StreamCluster{{ID: 0, Members: []int{0, 1}}, {ID: 1, Members: []int{1}}},
+	}
+	if _, err := bad.Assign(); err == nil {
+		t.Error("overlapping clusters accepted")
+	}
+	// Out-of-range member.
+	bad = &StreamResult{Header: StreamHeader{N: 2}, Clusters: []StreamCluster{{ID: 0, Members: []int{5}}}}
+	if _, err := bad.Assign(); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+// TestClusterStreamNDJSONShape pins the wire format: one JSON object per
+// line, first line a header, last line an end record.
+func TestClusterStreamNDJSONShape(t *testing.T) {
+	d := &cluster.Decomposition{Assign: []int{0, 1}, Color: []int{0, 0}, K: 2, Colors: 1}
+	var buf bytes.Buffer
+	if err := WriteClusterStream(&buf, StreamHeader{Kind: "decompose", N: 2, K: 2}, d.Clusters()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("stream has %d lines, want 4 (header, 2 clusters, end)", len(lines))
+	}
+	if !strings.Contains(lines[0], `"type":"header"`) {
+		t.Errorf("first line is not a header: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"type":"end"`) {
+		t.Errorf("last line is not an end record: %s", lines[len(lines)-1])
+	}
+}

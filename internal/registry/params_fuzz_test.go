@@ -1,0 +1,82 @@
+package registry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParamsEncoding pins the two contracts the serving layer's cache
+// identity rests on: encode→decode is lossless over arbitrary field
+// values, and encoding is byte-stable (the same Params always produces
+// the same bytes — "hash stability"). Nodes are derived from the seed
+// bytes so the corpus explores empty, short, and negative-id slices.
+func FuzzParamsEncoding(f *testing.F) {
+	f.Add("chang-ghaffari", "decompose", 0.0, int64(0), false, []byte{})
+	f.Add("mpx", "carve", 0.25, int64(-9), true, []byte{1, 2, 3})
+	f.Add("", "", math.NaN(), int64(1)<<40, false, []byte{0xff, 0x00})
+	f.Add("weird\x00name", "paint", math.Inf(-1), int64(-1), true, []byte{7})
+	f.Fuzz(func(t *testing.T, algo, kind string, eps float64, seed int64, meter bool, nodeBytes []byte) {
+		var nodes []int
+		for _, b := range nodeBytes {
+			nodes = append(nodes, int(int8(b)))
+		}
+		p := Params{Algorithm: algo, Kind: Kind(kind), Eps: eps, Seed: seed, Nodes: nodes, Meter: meter}
+
+		enc := p.EncodeBinary()
+		if again := p.EncodeBinary(); !bytes.Equal(enc, again) {
+			t.Fatalf("encoding not stable: %x vs %x", enc, again)
+		}
+		got, err := DecodeParams(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Algorithm != p.Algorithm || got.Kind != p.Kind || got.Seed != p.Seed || got.Meter != p.Meter {
+			t.Fatalf("round trip changed fields: %+v -> %+v", p, got)
+		}
+		if math.Float64bits(got.Eps) != math.Float64bits(p.Eps) {
+			t.Fatalf("round trip changed eps bits: %v -> %v", p.Eps, got.Eps)
+		}
+		if len(got.Nodes) != len(p.Nodes) {
+			t.Fatalf("round trip changed node count: %d -> %d", len(p.Nodes), len(got.Nodes))
+		}
+		for i := range got.Nodes {
+			if got.Nodes[i] != p.Nodes[i] {
+				t.Fatalf("round trip changed nodes[%d]: %d -> %d", i, p.Nodes[i], got.Nodes[i])
+			}
+		}
+		if reenc := got.EncodeBinary(); !bytes.Equal(reenc, enc) {
+			t.Fatalf("re-encoding after decode changed bytes: %x vs %x", enc, reenc)
+		}
+		// Key is total (never panics) and stable for any input, normalized
+		// or not.
+		if p.Key() != p.Key() {
+			t.Fatal("Key not stable")
+		}
+	})
+}
+
+// FuzzDecodeParams feeds arbitrary bytes to the decoder: it must never
+// panic or over-allocate, and anything it accepts must re-encode to
+// exactly the bytes it consumed only if it is itself canonical — which we
+// cannot assert for padded varints, so we assert the weaker invariant
+// that a successful decode round-trips through encode/decode losslessly.
+func FuzzDecodeParams(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Params{}.EncodeBinary())
+	f.Add(Params{Algorithm: "mpx", Kind: KindCarve, Eps: 0.5, Seed: 3, Nodes: []int{1, 2, 9}, Meter: true}.EncodeBinary())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeParams(data)
+		if err != nil {
+			return
+		}
+		enc := p.EncodeBinary()
+		got, err := DecodeParams(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted value failed: %v", err)
+		}
+		if !bytes.Equal(got.EncodeBinary(), enc) {
+			t.Fatal("accepted value does not round-trip canonically")
+		}
+	})
+}

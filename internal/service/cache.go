@@ -7,14 +7,14 @@ import (
 	"strongdecomp/internal/graph"
 )
 
-// cacheKey is the content-addressed identity of a request: graph content
-// hash plus every parameter that influences the (deterministic) result.
+// cacheKey is the content-addressed identity of a request: the graph
+// content hash plus the canonical byte encoding of the normalized
+// registry.Params (Params.Key) — one encoding rule for every layer, so
+// equivalent requests arriving through the facade, the HTTP API, or the
+// job queue all land on the same cache line.
 type cacheKey struct {
-	hash string
-	algo string
-	kind string
-	eps  float64
-	seed int64
+	hash   string
+	params string
 }
 
 // lru is a minimal mutex-guarded LRU map used by both the result cache and

@@ -1,18 +1,27 @@
 // Package httpapi exposes a service.Service as an HTTP JSON API — the
 // bytes-on-the-wire layer of the decomposition server:
 //
-//	GET  /healthz        liveness probe
-//	GET  /metrics        expvar-style service + backend counters
-//	GET  /v1/algorithms  the algorithm registry (name, model, bounds)
-//	POST /v1/graphs      upload a graph, get its content hash
-//	POST /v1/decompose   decompose a graph (inline or by hash)
-//	POST /v1/carve       ball-carve a graph (inline or by hash)
+//	GET    /healthz              liveness probe
+//	GET    /metrics              expvar-style service + backend counters
+//	GET    /v1/algorithms        the algorithm registry (name, model, bounds)
+//	POST   /v1/graphs            upload a graph, get its content hash
+//	POST   /v1/decompose         decompose a graph (inline or by hash)
+//	POST   /v1/carve             ball-carve a graph (inline or by hash)
+//	POST   /v2/jobs              submit an async job; 202 with a job ID
+//	GET    /v2/jobs/{id}         job status (state machine: queued →
+//	                             running → done|failed|canceled)
+//	DELETE /v2/jobs/{id}         cancel by ID (idempotent)
+//	GET    /v2/jobs/{id}/result  fetch a done job's result; ?stream=1
+//	                             streams clusters as NDJSON
 //
 // Graph uploads accept any graphio format (?format=edgelist|metis|json,
 // default json); compute requests carry the graph inline as a JSON graph
-// document or reference a previously uploaded content hash. Typed service
-// errors map onto status codes: invalid requests → 400, unknown hashes →
-// 404, canceled or timed-out runs → 504.
+// document or reference a previously uploaded content hash. Every request
+// resolves into one canonical registry.Params inside the service, so v1
+// and v2, sync and async, all share defaults, validation, and cache
+// identity. Typed service errors map onto status codes: invalid requests
+// → 400, unknown hashes/jobs → 404, a full job queue → 429 (backpressure),
+// canceled or timed-out runs → 504.
 package httpapi
 
 import (
@@ -20,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"strongdecomp/internal/graphio"
@@ -40,6 +50,10 @@ func New(s *service.Service) http.Handler {
 	mux.HandleFunc("POST /v1/graphs", api.putGraph)
 	mux.HandleFunc("POST /v1/decompose", api.compute(false))
 	mux.HandleFunc("POST /v1/carve", api.compute(true))
+	mux.HandleFunc("POST /v2/jobs", api.submitJob)
+	mux.HandleFunc("GET /v2/jobs/{id}", api.getJob)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", api.cancelJob)
+	mux.HandleFunc("GET /v2/jobs/{id}/result", api.jobResult)
 	return mux
 }
 
@@ -107,14 +121,46 @@ func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, graphResponse{Hash: hash, N: g.N(), M: g.M()})
 }
 
-// computeRequest is the body of /v1/decompose and /v1/carve: an inline
-// graph document or a content hash, plus run parameters.
+// computeRequest is the body of /v1/decompose, /v1/carve, and (with Kind)
+// /v2/jobs: an inline graph document or a content hash, plus run
+// parameters.
 type computeRequest struct {
+	// Kind selects the operation for /v2/jobs ("carve" or "decompose",
+	// default "decompose"); the v1 endpoints encode it in the path.
+	Kind  string            `json:"kind,omitempty"`
 	Graph *graphio.Document `json:"graph,omitempty"`
 	Hash  string            `json:"hash,omitempty"`
 	Algo  string            `json:"algo,omitempty"`
 	Eps   float64           `json:"eps,omitempty"`
 	Seed  int64             `json:"seed,omitempty"`
+	// TimeoutMS, when positive, bounds this caller's wait for the result
+	// (the computation itself stays bounded by the service timeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// serviceRequest converts the wire body into a service.Request.
+func (b *computeRequest) serviceRequest() (*service.Request, error) {
+	req := &service.Request{
+		Hash: b.Hash, Algo: b.Algo, Eps: b.Eps, Seed: b.Seed,
+		Timeout: time.Duration(b.TimeoutMS) * time.Millisecond,
+	}
+	if b.Graph != nil {
+		g, err := graphio.FromDocument(b.Graph)
+		if err != nil {
+			return nil, err
+		}
+		req.Graph = g
+	}
+	return req, nil
+}
+
+// decodeBody parses a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
 }
 
 // computeResponse is a served result. Assign/Color follow the library
@@ -138,24 +184,16 @@ type computeResponse struct {
 func (a *api) compute(carve bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var body computeRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err := dec.Decode(&body); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		if err := decodeBody(w, r, &body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		req := &service.Request{Hash: body.Hash, Algo: body.Algo, Eps: body.Eps, Seed: body.Seed}
-		if body.Graph != nil {
-			g, err := graphio.FromDocument(body.Graph)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			req.Graph = g
+		req, err := body.serviceRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
-		var (
-			res *service.Result
-			err error
-		)
+		var res *service.Result
 		if carve {
 			res, err = a.svc.Carve(r.Context(), req)
 		} else {
@@ -165,29 +203,167 @@ func (a *api) compute(carve bool) http.HandlerFunc {
 			writeError(w, statusOf(err), err)
 			return
 		}
-		out := computeResponse{
-			GraphHash: res.GraphHash, Kind: res.Kind, Algo: res.Algo,
-			Seed: res.Seed, Eps: res.Eps,
-			Rounds: res.Rounds, Cached: res.CacheHit, Shared: res.Shared,
-			ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
-		}
-		if res.Carving != nil {
-			out.K, out.Assign = res.Carving.K, res.Carving.Assign
-		}
-		if res.Decomposition != nil {
-			out.K, out.Colors = res.Decomposition.K, res.Decomposition.Colors
-			out.Assign, out.Color = res.Decomposition.Assign, res.Decomposition.Color
-		}
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, resultResponse(res))
 	}
+}
+
+// resultResponse renders a served result in the wire form shared by the
+// v1 compute endpoints and the v2 job result endpoint.
+func resultResponse(res *service.Result) computeResponse {
+	out := computeResponse{
+		GraphHash: res.GraphHash, Kind: res.Kind, Algo: res.Algo,
+		Seed: res.Seed, Eps: res.Eps,
+		Rounds: res.Rounds, Cached: res.CacheHit, Shared: res.Shared,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Carving != nil {
+		out.K, out.Assign = res.Carving.K, res.Carving.Assign
+	}
+	if res.Decomposition != nil {
+		out.K, out.Colors = res.Decomposition.K, res.Decomposition.Colors
+		out.Assign, out.Color = res.Decomposition.Assign, res.Decomposition.Color
+	}
+	return out
+}
+
+// jobResponse is the wire form of a job snapshot.
+type jobResponse struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Algo        string `json:"algo"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// ResultURL is set once the job is done.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+func jobWire(j *service.Job) jobResponse {
+	out := jobResponse{
+		ID: j.ID, Kind: j.Kind, Algo: j.Algo,
+		State: string(j.State), Error: j.Error,
+		SubmittedAt: j.SubmittedAt.Format(time.RFC3339Nano),
+	}
+	if !j.StartedAt.IsZero() {
+		out.StartedAt = j.StartedAt.Format(time.RFC3339Nano)
+	}
+	if !j.FinishedAt.IsZero() {
+		out.FinishedAt = j.FinishedAt.Format(time.RFC3339Nano)
+	}
+	if j.State == service.JobDone {
+		out.ResultURL = "/v2/jobs/" + j.ID + "/result"
+	}
+	return out
+}
+
+// submitJob is POST /v2/jobs: enqueue an async run, answer 202 with the
+// job ID immediately (or 429 when the bounded queue pushes back).
+func (a *api) submitJob(w http.ResponseWriter, r *http.Request) {
+	var body computeRequest
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kind := registry.Kind(body.Kind)
+	if body.Kind == "" {
+		kind = registry.KindDecompose
+	}
+	req, err := body.serviceRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := a.svc.Submit(kind, req)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	j, err := a.svc.Job(id)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobWire(j))
+}
+
+// getJob is GET /v2/jobs/{id}: the job state machine snapshot.
+func (a *api) getJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobWire(j))
+}
+
+// cancelJob is DELETE /v2/jobs/{id}: cancel-by-ID, idempotent — canceling
+// a terminal job just echoes its state.
+func (a *api) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.svc.CancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobWire(j))
+}
+
+// jobResult is GET /v2/jobs/{id}/result: the full result of a done job —
+// as one JSON document by default, or as an NDJSON cluster stream with
+// ?stream=1 (the path that never materializes a second full copy of a
+// huge assignment).
+func (a *api) jobResult(w http.ResponseWriter, r *http.Request) {
+	j, err := a.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	if j.State != service.JobDone || j.Result == nil {
+		status := http.StatusConflict
+		if j.State == service.JobFailed || j.State == service.JobCanceled {
+			status = http.StatusGone
+		}
+		writeError(w, status, fmt.Errorf("%w: job %s is %s", service.ErrJobNotDone, j.ID, j.State))
+		return
+	}
+	res := j.Result
+	// Only a truthy stream value selects NDJSON: ?stream=0 / stream=false
+	// must keep answering the plain JSON document.
+	if stream, _ := strconv.ParseBool(r.URL.Query().Get("stream")); !stream {
+		writeJSON(w, http.StatusOK, resultResponse(res))
+		return
+	}
+
+	hdr := graphio.StreamHeader{
+		Kind: res.Kind, Algo: res.Algo, GraphHash: res.GraphHash,
+		Eps: res.Eps, Seed: res.Seed, Rounds: res.Rounds,
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	var streamErr error
+	switch {
+	case res.Carving != nil:
+		hdr.N, hdr.K = len(res.Carving.Assign), res.Carving.K
+		streamErr = graphio.WriteClusterStream(w, hdr, res.Carving.Clusters())
+	case res.Decomposition != nil:
+		hdr.N, hdr.K = len(res.Decomposition.Assign), res.Decomposition.K
+		hdr.Colors = res.Decomposition.Colors
+		streamErr = graphio.WriteClusterStream(w, hdr, res.Decomposition.Clusters())
+	}
+	_ = streamErr // the status line is out; a broken client connection is not recoverable
 }
 
 // statusOf maps the serving layer's typed errors onto HTTP status codes.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, service.ErrUnknownGraph):
+	case errors.Is(err, service.ErrUnknownGraph),
+		errors.Is(err, service.ErrUnknownJob):
 		return http.StatusNotFound
+	case errors.Is(err, service.ErrQueueFull):
+		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrInvalidRequest),
+		errors.Is(err, registry.ErrInvalidParams),
 		errors.Is(err, registry.ErrUnknownAlgorithm):
 		return http.StatusBadRequest
 	case errors.Is(err, registry.ErrCanceled):

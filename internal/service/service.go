@@ -1,19 +1,24 @@
 // Package service is the request-shaped layer over the decomposition
-// engine: a Service accepts (graph, algorithm, eps, seed) requests and
-// answers them through a content-addressed result cache, deduplicating
-// concurrent identical computations in flight (singleflight) and
-// propagating per-request timeouts through context cancellation.
+// engine: a Service accepts requests and answers them through a
+// content-addressed result cache, deduplicating concurrent identical
+// computations in flight (singleflight) and propagating per-request
+// timeouts through context cancellation. Requests may also be submitted
+// asynchronously (Submit) onto a bounded job queue with cancel-by-ID and
+// TTL'd result retention — see jobs.go.
 //
-// The cache identity of a request is (graphio.Hash(g), algo, kind, eps,
-// seed): every registered construction is deterministic given its seed, so
-// a cached result is bit-identical to a recomputed one and the hot path of
-// a repeated decomposition drops from O(BFS) to O(1).
+// Every request resolves into one canonical registry.Params: defaults via
+// Params.Normalized, validation via Params.Validate, and the cache
+// identity of a request is (graphio.Hash(g), Params.Key()) — the
+// canonical byte encoding of the normalized Params. Every registered
+// construction is deterministic given its seed, so a cached result is
+// bit-identical to a recomputed one and the hot path of a repeated
+// decomposition drops from O(BFS) to O(1).
 //
 // The package depends only on the internal substrate (graph, cluster,
 // registry, rounds, graphio); the execution backend is injected as a
-// Runner, which both a bare registry.Decomposer and the public
-// strongdecomp.Engine satisfy. The facade's NewService wires the Engine
-// in; tests can wire stubs.
+// registry.Runner, which both an AdaptDecomposer-wrapped registry entry
+// and the public strongdecomp.Engine satisfy. The facade's NewService
+// wires the Engine in; tests can wire stubs.
 package service
 
 import (
@@ -26,7 +31,6 @@ import (
 	"strongdecomp/internal/graph"
 	"strongdecomp/internal/graphio"
 	"strongdecomp/internal/registry"
-	"strongdecomp/internal/rounds"
 )
 
 // Typed errors of the serving layer. HTTP handlers map these to status
@@ -40,12 +44,10 @@ var (
 	ErrUnknownGraph = errors.New("service: unknown graph hash")
 )
 
-// Runner executes decompositions; *strongdecomp.Engine and any
-// registry.Decomposer satisfy it.
-type Runner interface {
-	Carve(ctx context.Context, g *graph.Graph, eps float64, opts *registry.RunOptions) (*cluster.Carving, error)
-	Decompose(ctx context.Context, g *graph.Graph, opts *registry.RunOptions) (*cluster.Decomposition, error)
-}
+// Runner executes canonical Params; *strongdecomp.Engine satisfies it
+// directly and a bare registry.Decomposer is lifted with
+// registry.AdaptDecomposer.
+type Runner = registry.Runner
 
 // Config parameterizes New. The zero value is serviceable: registry-backed
 // runners, the paper's construction as default algorithm, and default
@@ -71,8 +73,18 @@ type Config struct {
 	// 256 MiB); graphs that alone exceed the budget are not retained.
 	GraphStoreBudget int
 	// Timeout bounds each request's computation; 0 means no service-side
-	// limit (the caller's context still applies).
+	// limit (the caller's context still applies). A Request.Timeout
+	// additionally bounds that caller's own wait.
 	Timeout time.Duration
+	// JobQueue bounds the async job queue (default 64; negative disables
+	// the job subsystem — Submit fails with ErrQueueFull).
+	JobQueue int
+	// JobWorkers is the number of goroutines draining the job queue
+	// (default 2). Each job still fans out over its runner's own pool.
+	JobWorkers int
+	// JobTTL is how long a finished job's result is retained for
+	// retrieval before it is purged (default 15 minutes).
+	JobTTL time.Duration
 }
 
 // Service answers decomposition requests through a cache, an in-flight
@@ -85,16 +97,23 @@ type Service struct {
 	graphs  *graphStore
 	flight  *flightGroup
 	stats   *statsTable
+	jobs    *jobManager
 	start   time.Time
 }
 
 // New builds a Service from cfg.
 func New(cfg Config) *Service {
 	if cfg.NewRunner == nil {
-		cfg.NewRunner = func(algo string) (Runner, error) { return registry.Lookup(algo) }
+		cfg.NewRunner = func(algo string) (Runner, error) {
+			d, err := registry.Lookup(algo)
+			if err != nil {
+				return nil, err
+			}
+			return registry.AdaptDecomposer(d), nil
+		}
 	}
 	if cfg.DefaultAlgorithm == "" {
-		cfg.DefaultAlgorithm = "chang-ghaffari"
+		cfg.DefaultAlgorithm = registry.DefaultAlgorithm
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 256
@@ -105,7 +124,16 @@ func New(cfg Config) *Service {
 	if cfg.GraphStoreBudget == 0 {
 		cfg.GraphStoreBudget = 1 << 28
 	}
-	return &Service{
+	if cfg.JobQueue == 0 {
+		cfg.JobQueue = 64
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
+	s := &Service{
 		cfg:     cfg,
 		runners: newRunnerTable(cfg.NewRunner),
 		cache:   newResultCache(cfg.CacheSize),
@@ -114,7 +142,14 @@ func New(cfg Config) *Service {
 		stats:   newStatsTable(),
 		start:   time.Now(),
 	}
+	s.jobs = newJobManager(s, cfg.JobQueue, cfg.JobWorkers, cfg.JobTTL)
+	return s
 }
+
+// Close stops the job subsystem: queued jobs are marked canceled, running
+// jobs have their contexts canceled, and the worker goroutines are joined.
+// Synchronous requests are unaffected. Close is idempotent.
+func (s *Service) Close() { s.jobs.close() }
 
 // Request is one decomposition or carving request. Exactly one of Graph
 // (inline) and Hash (previously uploaded, see PutGraph) must be set.
@@ -127,6 +162,34 @@ type Request struct {
 	Eps float64
 	// Seed drives randomized constructions and is part of the cache key.
 	Seed int64
+	// Timeout, when positive, bounds this caller's wait for the result.
+	// The shared computation itself stays bounded by Config.Timeout, so
+	// one caller's aggressive deadline can never kill a flight other
+	// callers are waiting on. Negative timeouts are rejected with
+	// ErrInvalidRequest.
+	Timeout time.Duration
+}
+
+// params resolves a request into the canonical registry.Params — the
+// single source of defaults, validation, and cache identity. Malformed
+// requests (NaN/Inf or out-of-range eps, negative timeout, unknown kind)
+// fail with errors matching ErrInvalidRequest.
+func (s *Service) params(kind registry.Kind, req *Request) (registry.Params, error) {
+	if req == nil {
+		return registry.Params{}, fmt.Errorf("%w: nil request", ErrInvalidRequest)
+	}
+	if req.Timeout < 0 {
+		return registry.Params{}, fmt.Errorf("%w: negative timeout %v", ErrInvalidRequest, req.Timeout)
+	}
+	p := registry.Params{Algorithm: req.Algo, Kind: kind, Eps: req.Eps, Seed: req.Seed, Meter: true}
+	if p.Algorithm == "" {
+		p.Algorithm = s.cfg.DefaultAlgorithm
+	}
+	p = p.Normalized()
+	if err := p.Validate(); err != nil {
+		return registry.Params{}, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+	}
+	return p, nil
 }
 
 // Result is a served decomposition or carving. Payload pointers (Carving,
@@ -156,32 +219,16 @@ type Result struct {
 	Shared bool
 }
 
-// request kinds; part of the cache key so a carving can never shadow a
-// decomposition of the same graph.
-const (
-	kindCarve     = "carve"
-	kindDecompose = "decompose"
-)
-
-// Decompose serves a full network decomposition.
+// Decompose serves a full network decomposition. (Eps is not a
+// decomposition parameter; Params.Normalized zeroes it so the cache key
+// stays canonical.)
 func (s *Service) Decompose(ctx context.Context, req *Request) (*Result, error) {
-	if req == nil {
-		return nil, fmt.Errorf("%w: nil request", ErrInvalidRequest)
-	}
-	r := *req
-	r.Eps = 0 // not a decomposition parameter; keep the cache key canonical
-	return s.do(ctx, kindDecompose, &r)
+	return s.do(ctx, registry.KindDecompose, req)
 }
 
 // Carve serves a ball carving with boundary parameter req.Eps.
 func (s *Service) Carve(ctx context.Context, req *Request) (*Result, error) {
-	if req == nil {
-		return nil, fmt.Errorf("%w: nil request", ErrInvalidRequest)
-	}
-	if !(req.Eps > 0 && req.Eps <= 1) { // written to also reject NaN
-		return nil, fmt.Errorf("%w: eps %v outside (0, 1]", ErrInvalidRequest, req.Eps)
-	}
-	return s.do(ctx, kindCarve, req)
+	return s.do(ctx, registry.KindCarve, req)
 }
 
 // PutGraph stores g in the graph store and returns its content hash, the
@@ -200,21 +247,21 @@ func (s *Service) GetGraph(hash string) (*graph.Graph, bool) {
 // DefaultAlgorithm returns the algorithm used when requests name none.
 func (s *Service) DefaultAlgorithm() string { return s.cfg.DefaultAlgorithm }
 
-// do is the shared request path: resolve graph → cache → singleflight →
-// backend.
-func (s *Service) do(ctx context.Context, kind string, req *Request) (*Result, error) {
-	algo := req.Algo
-	if algo == "" {
-		algo = s.cfg.DefaultAlgorithm
+// do is the shared request path: canonicalize to Params → resolve graph →
+// cache → singleflight → backend.
+func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Result, error) {
+	p, err := s.params(kind, req)
+	if err != nil {
+		return nil, err
 	}
 	// Validate the algorithm before creating its stats entry: the stats
 	// table is keyed by caller-supplied strings and serialized into
 	// /metrics, so unregistered names must never be admitted into it.
-	runner, err := s.runners.get(algo)
+	runner, err := s.runners.get(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	st := s.stats.algo(algo)
+	st := s.stats.algo(p.Algorithm)
 	st.requests.Add(1)
 
 	g, hash, err := s.resolveGraph(req)
@@ -223,7 +270,7 @@ func (s *Service) do(ctx context.Context, kind string, req *Request) (*Result, e
 		return nil, err
 	}
 
-	key := cacheKey{hash: hash, algo: algo, kind: kind, eps: req.Eps, seed: req.Seed}
+	key := cacheKey{hash: hash, params: p.Key()}
 	if res, ok := s.cache.get(key); ok {
 		st.cacheHits.Add(1)
 		out := *res
@@ -234,15 +281,21 @@ func (s *Service) do(ctx context.Context, kind string, req *Request) (*Result, e
 
 	// The computation itself runs on the flight's detached context (so one
 	// caller abandoning a shared flight cannot poison it); the service
-	// timeout bounds that detached context, while each caller's own ctx
-	// bounds only its wait.
+	// timeout bounds that detached context. A request's own Timeout
+	// bounds only this caller's wait — a concurrent identical request
+	// sharing the flight is never killed by someone else's deadline.
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
 	res, err, shared := s.flight.do(ctx, key, func(runCtx context.Context) (*Result, error) {
 		if s.cfg.Timeout > 0 {
 			var cancel context.CancelFunc
 			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.Timeout)
 			defer cancel()
 		}
-		out, err := s.compute(runCtx, kind, runner, g, key)
+		out, err := s.compute(runCtx, runner, g, hash, p)
 		if err != nil {
 			return nil, err
 		}
@@ -267,31 +320,25 @@ func (s *Service) do(ctx context.Context, kind string, req *Request) (*Result, e
 	return res, nil
 }
 
-// compute runs the construction on the backend and packages the result.
-func (s *Service) compute(ctx context.Context, kind string, runner Runner, g *graph.Graph, key cacheKey) (*Result, error) {
-	meter := rounds.NewMeter()
-	opts := &registry.RunOptions{Seed: key.seed, Meter: meter}
-	out := &Result{GraphHash: key.hash, Kind: kind, Algo: key.algo, Eps: key.eps, Seed: key.seed}
+// compute runs the canonical Params on the backend and packages the
+// result.
+func (s *Service) compute(ctx context.Context, runner Runner, g *graph.Graph, hash string, p registry.Params) (*Result, error) {
 	start := time.Now()
-	switch kind {
-	case kindCarve:
-		c, err := runner.Carve(ctx, g, key.eps, opts)
-		if err != nil {
-			return nil, err
-		}
-		out.Carving = c
-	case kindDecompose:
-		d, err := runner.Decompose(ctx, g, opts)
-		if err != nil {
-			return nil, err
-		}
-		out.Decomposition = d
-	default:
-		return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, kind)
+	o, err := runner.Run(ctx, g, p)
+	if err != nil {
+		return nil, err
 	}
-	out.Elapsed = time.Since(start)
-	out.Rounds = meter.Rounds()
-	return out, nil
+	return &Result{
+		GraphHash:     hash,
+		Kind:          string(p.Kind),
+		Algo:          p.Algorithm,
+		Eps:           p.Eps,
+		Seed:          p.Seed,
+		Carving:       o.Carving,
+		Decomposition: o.Decomposition,
+		Rounds:        o.Rounds,
+		Elapsed:       time.Since(start),
+	}, nil
 }
 
 // resolveGraph turns a request into a (graph, content hash) pair. Inline

@@ -54,6 +54,14 @@ func registerStub(t *testing.T, gate chan struct{}) (string, *atomic.Int64) {
 	return name, count
 }
 
+// decomposeKey builds the cache identity the service computes for a
+// decompose request — the graph content hash plus the canonical Params
+// encoding (the service always opts into metering).
+func decomposeKey(g *graph.Graph, algo string, seed int64) cacheKey {
+	p := registry.Params{Algorithm: algo, Kind: registry.KindDecompose, Seed: seed, Meter: true}
+	return cacheKey{hash: graphio.Hash(g), params: p.Key()}
+}
+
 func TestServiceCacheHit(t *testing.T) {
 	algo, count := registerStub(t, nil)
 	s := New(Config{})
@@ -114,7 +122,7 @@ func TestServiceSingleflight(t *testing.T) {
 	algo, count := registerStub(t, gate)
 	s := New(Config{})
 	g := graph.Grid(4, 4)
-	key := cacheKey{hash: graphio.Hash(g), algo: algo, kind: kindDecompose, seed: 7}
+	key := decomposeKey(g, algo, 7)
 
 	const followers = 7
 	results := make([]*Result, followers+1)
@@ -171,7 +179,7 @@ func TestServiceLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
 	algo, count := registerStub(t, gate)
 	s := New(Config{})
 	g := graph.Grid(4, 4)
-	key := cacheKey{hash: graphio.Hash(g), algo: algo, kind: kindDecompose, seed: 11}
+	key := decomposeKey(g, algo, 11)
 	req := func() *Request { return &Request{Graph: g, Algo: algo, Seed: 11} }
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -384,6 +392,26 @@ func TestServiceErrors(t *testing.T) {
 			_, err := s.Carve(ctx, &Request{Graph: g, Algo: algo, Eps: math.NaN()})
 			return err
 		}, ErrInvalidRequest},
+		{"bad eps +Inf", func() error {
+			_, err := s.Carve(ctx, &Request{Graph: g, Algo: algo, Eps: math.Inf(1)})
+			return err
+		}, ErrInvalidRequest},
+		{"bad eps -Inf", func() error {
+			_, err := s.Carve(ctx, &Request{Graph: g, Algo: algo, Eps: math.Inf(-1)})
+			return err
+		}, ErrInvalidRequest},
+		{"bad eps negative", func() error {
+			_, err := s.Carve(ctx, &Request{Graph: g, Algo: algo, Eps: -0.25})
+			return err
+		}, ErrInvalidRequest},
+		{"negative timeout decompose", func() error {
+			_, err := s.Decompose(ctx, &Request{Graph: g, Algo: algo, Timeout: -time.Second})
+			return err
+		}, ErrInvalidRequest},
+		{"negative timeout carve", func() error {
+			_, err := s.Carve(ctx, &Request{Graph: g, Algo: algo, Eps: 0.5, Timeout: -1})
+			return err
+		}, ErrInvalidRequest},
 		{"nil request", func() error {
 			_, err := s.Decompose(ctx, nil)
 			return err
@@ -505,5 +533,58 @@ func TestServiceDefaultAlgorithm(t *testing.T) {
 	}
 	if res.Algo != algo || count.Load() != 1 {
 		t.Fatalf("default algorithm not used: %+v", res)
+	}
+}
+
+// TestServiceRequestTimeoutBoundsOnlyCaller: a request's own Timeout
+// bounds that caller's wait, not the shared flight — a concurrent
+// identical request without a timeout still receives the result.
+func TestServiceRequestTimeoutBoundsOnlyCaller(t *testing.T) {
+	gate := make(chan struct{})
+	algo, count := registerStub(t, gate)
+	s := New(Config{})
+	g := graph.Grid(4, 4)
+	req := func(d time.Duration) *Request { return &Request{Graph: g, Algo: algo, Seed: 2, Timeout: d} }
+
+	// Impatient leader: 5ms wait bound on an open-gated computation.
+	var leaderErr error
+	var leaderWG sync.WaitGroup
+	leaderWG.Add(1)
+	go func() {
+		defer leaderWG.Done()
+		_, leaderErr = s.Decompose(context.Background(), req(5*time.Millisecond))
+	}()
+	waitForCondition(t, func() bool { return count.Load() == 1 })
+
+	// Patient follower joins the same flight with no timeout.
+	var (
+		followerRes *Result
+		followerErr error
+		followerWG  sync.WaitGroup
+	)
+	followerWG.Add(1)
+	go func() {
+		defer followerWG.Done()
+		followerRes, followerErr = s.Decompose(context.Background(), req(0))
+	}()
+	key := decomposeKey(g, algo, 2)
+	waitForCondition(t, func() bool {
+		s.flight.mu.Lock()
+		defer s.flight.mu.Unlock()
+		c := s.flight.calls[key]
+		return c != nil && c.parties.Load() == 2
+	})
+
+	leaderWG.Wait() // the 5ms deadline fires while the gate is closed
+	if !errors.Is(leaderErr, registry.ErrCanceled) {
+		t.Fatalf("impatient caller err = %v, want ErrCanceled", leaderErr)
+	}
+	close(gate)
+	followerWG.Wait()
+	if followerErr != nil {
+		t.Fatalf("patient follower err = %v — the impatient caller's timeout killed the shared flight", followerErr)
+	}
+	if followerRes == nil || followerRes.Decomposition == nil {
+		t.Fatal("patient follower got no result")
 	}
 }

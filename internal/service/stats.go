@@ -86,8 +86,24 @@ type Stats struct {
 	DedupShared   int64                `json:"dedup_shared"`
 	CachedResults int                  `json:"cached_results"`
 	StoredGraphs  int                  `json:"stored_graphs"`
+	Jobs          JobStats             `json:"jobs"`
 	Algorithms    map[string]AlgoStats `json:"algorithms"`
 	Runner        map[string]int64     `json:"runner,omitempty"`
+}
+
+// JobStats is the async-job block of a Stats snapshot.
+type JobStats struct {
+	// Submitted counts accepted Submit calls over the service lifetime.
+	Submitted int64 `json:"submitted"`
+	// Completed / Failed / Canceled partition the settled jobs.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	// Queued and Running are point-in-time gauges.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Retained counts jobs (any state) currently addressable by ID.
+	Retained int `json:"retained"`
 }
 
 // Stats snapshots the service counters. Counters are read atomically but
@@ -128,6 +144,11 @@ func (s *Service) Stats() Stats {
 		out.CacheHits += a.CacheHits
 		out.CacheMisses += a.CacheMisses
 		out.DedupShared += a.DedupShared
+	}
+	sub, comp, failed, canc, queued, running, retained := s.jobs.counts()
+	out.Jobs = JobStats{
+		Submitted: sub, Completed: comp, Failed: failed, Canceled: canc,
+		Queued: queued, Running: running, Retained: retained,
 	}
 	if s.cfg.RunnerStats != nil {
 		out.Runner = s.cfg.RunnerStats()

@@ -12,8 +12,48 @@ package strongdecomp
 //	dec, _ := d.Decompose(ctx, g, &strongdecomp.RunOptions{Seed: 7})
 
 import (
+	"context"
+
 	"strongdecomp/internal/registry"
 )
+
+// Params is the canonical description of one run — the single source of
+// request defaults (Normalized), validation (Validate), and cache
+// identity (Key / EncodeBinary) across the facade, the Engine, the
+// serving layer, and the HTTP API. Build one and hand it to Run (or
+// Engine.Run); the functional-options entry points are shims over it.
+type Params = registry.Params
+
+// Kind selects the operation a Params describes.
+type Kind = registry.Kind
+
+// Params kinds.
+const (
+	// KindCarve is a ball carving with boundary parameter Params.Eps.
+	KindCarve = registry.KindCarve
+	// KindDecompose is a full network decomposition.
+	KindDecompose = registry.KindDecompose
+)
+
+// DefaultAlgorithm is the construction used when a Params names none.
+const DefaultAlgorithm = registry.DefaultAlgorithm
+
+// Outcome is the result of executing one Params: exactly one of Carving
+// and Decomposition is set, matching Params.Kind, plus the metered round
+// total when Params.Meter was set.
+type Outcome = registry.Outcome
+
+// DecodeParams reverses Params.EncodeBinary — the canonical binary
+// encoding round-trips losslessly (see the registry fuzz target).
+func DecodeParams(data []byte) (Params, error) { return registry.DecodeParams(data) }
+
+// Run executes one canonical Params on g: p is normalized and validated,
+// its algorithm resolved through the registry, and the selected operation
+// run with cancellation support. It is the v2 entry point subsuming
+// BallCarveContext and DecomposeContext.
+func Run(ctx context.Context, g *Graph, p Params) (*Outcome, error) {
+	return registry.Run(ctx, g, p)
+}
 
 // Decomposer is a registered construction: a context-aware ball carving and
 // network decomposition over a host graph. Implementations must be safe for
@@ -45,6 +85,9 @@ var (
 	ErrCanceled = registry.ErrCanceled
 	// ErrDuplicateAlgorithm is returned by Register on a name collision.
 	ErrDuplicateAlgorithm = registry.ErrDuplicateAlgorithm
+	// ErrInvalidParams marks a Params value that cannot be executed
+	// (unknown kind, non-finite or out-of-range eps, negative node ids).
+	ErrInvalidParams = registry.ErrInvalidParams
 )
 
 // Register adds a construction to the registry under name. Registered

@@ -28,6 +28,11 @@ type (
 	ServiceResult = service.Result
 	// ServiceStats is the Service observability snapshot.
 	ServiceStats = service.Stats
+	// ServiceJob is a snapshot of an async job (see Service.Submit):
+	// queued → running → done|failed|canceled, with TTL'd retention.
+	ServiceJob = service.Job
+	// ServiceJobState is the lifecycle state of an async job.
+	ServiceJobState = service.JobState
 )
 
 // Typed serving errors.
@@ -36,6 +41,10 @@ var (
 	ErrInvalidRequest = service.ErrInvalidRequest
 	// ErrUnknownGraph marks by-hash requests for graphs not in the store.
 	ErrUnknownGraph = service.ErrUnknownGraph
+	// ErrQueueFull is the async-submission backpressure signal.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrUnknownJob marks job IDs that never existed or expired.
+	ErrUnknownJob = service.ErrUnknownJob
 )
 
 // LoadGraph reads a graph file, detecting the format (edge list, METIS, or
@@ -56,6 +65,9 @@ type serviceConfig struct {
 	graphStore int
 	timeout    time.Duration
 	algo       string
+	jobQueue   int
+	jobWorkers int
+	jobTTL     time.Duration
 }
 
 // ServiceOption configures NewService.
@@ -91,6 +103,24 @@ func WithServiceAlgorithm(name string) ServiceOption {
 	return func(c *serviceConfig) { c.algo = name }
 }
 
+// WithServiceJobQueue bounds the async job queue (default 64 jobs; a
+// negative size disables the job subsystem — submissions fail fast).
+func WithServiceJobQueue(n int) ServiceOption {
+	return func(c *serviceConfig) { c.jobQueue = n }
+}
+
+// WithServiceJobWorkers sets how many jobs execute concurrently (default
+// 2; each job still parallelizes internally over its Engine's pool).
+func WithServiceJobWorkers(n int) ServiceOption {
+	return func(c *serviceConfig) { c.jobWorkers = n }
+}
+
+// WithServiceJobTTL sets how long finished async jobs are retained for
+// result retrieval before being purged (default 15 minutes).
+func WithServiceJobTTL(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.jobTTL = d }
+}
+
 // NewService builds the serving layer: requests are answered from the
 // content-addressed cache when possible, concurrent identical requests
 // share one computation, and misses execute on a lazily-created Engine per
@@ -112,6 +142,9 @@ func NewService(opts ...ServiceOption) *Service {
 		CacheSize:        c.cacheSize,
 		GraphStoreSize:   c.graphStore,
 		Timeout:          c.timeout,
+		JobQueue:         c.jobQueue,
+		JobWorkers:       c.jobWorkers,
+		JobTTL:           c.jobTTL,
 		NewRunner: func(algo string) (service.Runner, error) {
 			// Engines resolve names lazily; validate here so unknown
 			// algorithms fail at request time with ErrUnknownAlgorithm

@@ -10,8 +10,10 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"strongdecomp"
+	"strongdecomp/internal/graphio"
 	"strongdecomp/internal/service/httpapi"
 )
 
@@ -202,4 +204,108 @@ func TestServiceFacadeTimeoutOption(t *testing.T) {
 	if err == nil {
 		t.Fatal("1ns-timeout service served a 4096-node decomposition")
 	}
+}
+
+// TestServeV2JobsEndToEnd is the serve smoke test of the v2 API: a real
+// engine-backed service behind the HTTP handler, a decomposition job
+// submitted through POST /v2/jobs, polled to done, and its result fetched
+// as an NDJSON cluster stream that reconstructs to a verifiable
+// decomposition of the input graph.
+func TestServeV2JobsEndToEnd(t *testing.T) {
+	svc := strongdecomp.NewService()
+	defer svc.Close()
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+
+	g := strongdecomp.TorusGraph(8, 8)
+	body := []byte(`{"kind": "decompose", "graph": ` + graphDocJSON(t, g) + `, "algo": "chang-ghaffari", "seed": 5}`)
+	resp, err := http.Post(srv.URL+"/v2/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", job.State)
+		}
+		if job.State == "failed" || job.State == "canceled" {
+			t.Fatalf("job ended %q", job.State)
+		}
+		r, err := http.Get(srv.URL + "/v2/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", r.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r, err := http.Get(srv.URL + "/v2/jobs/" + job.ID + "/result?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	stream, err := graphio.ReadClusterStream(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Header.N != g.N() || stream.Header.K < 1 {
+		t.Fatalf("stream header %+v does not match the input graph", stream.Header)
+	}
+	assign, err := stream.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the decomposition from the streamed clusters and verify
+	// it with the library's own oracle.
+	color := make([]int, stream.Header.K)
+	for _, c := range stream.Clusters {
+		if c.Color == nil {
+			t.Fatalf("cluster %d streamed without a color", c.ID)
+		}
+		color[c.ID] = *c.Color
+	}
+	dec := &strongdecomp.Decomposition{
+		Assign: assign, Color: color,
+		K: stream.Header.K, Colors: stream.Header.Colors,
+	}
+	if err := strongdecomp.VerifyDecomposition(g, dec, -1, true); err != nil {
+		t.Fatalf("streamed decomposition fails verification: %v", err)
+	}
+}
+
+// graphDocJSON renders g as the inline JSON graph document.
+func graphDocJSON(t *testing.T, g *strongdecomp.Graph) string {
+	t.Helper()
+	doc := struct {
+		N     int      `json:"n"`
+		Edges [][2]int `json:"edges"`
+	}{N: g.N(), Edges: g.Edges()}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

@@ -22,6 +22,27 @@
 // and cancellation. See DESIGN.md for the architecture and EXPERIMENTS.md
 // for the experiment index.
 //
+// # The v2 Params API
+//
+// The canonical way to describe a run is one Params value — algorithm
+// name, kind (KindCarve or KindDecompose), eps, seed, node restriction,
+// and meter opt-in — executed with Run (or Engine.Run for pooled,
+// per-component-parallel execution):
+//
+//	out, err := strongdecomp.Run(ctx, g, strongdecomp.Params{
+//		Algorithm: "chang-ghaffari-improved",
+//		Kind:      strongdecomp.KindCarve,
+//		Eps:       0.25,
+//		Seed:      7,
+//	})
+//
+// Params is the single source of request defaults (Normalized), request
+// validation (Validate), and cache identity (Key): the serving layer in
+// internal/service addresses its result cache with the same canonical
+// byte encoding that validates a CLI flag set or an HTTP body. The
+// functional options below (WithAlgorithmName, WithSeed, ...) and the
+// legacy Algorithm enum remain as thin shims that resolve into a Params.
+//
 // A minimal example:
 //
 //	g, _ := strongdecomp.NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
@@ -37,6 +58,7 @@ import (
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 
 	// The algorithm packages self-register their constructions with the
@@ -66,10 +88,15 @@ type (
 const Unclustered = cluster.Unclustered
 
 // Algorithm selects which construction BallCarve and Decompose run. It is
-// the legacy enum-shaped selector: each value maps to a registry name, and
-// the facade resolves it through Lookup. New constructions registered via
-// Register need no Algorithm value — select them by name with
-// WithAlgorithmName or drive them directly through Lookup.
+// the legacy enum-shaped selector: each value maps to a registry name
+// through Name, and the facade resolves it through exactly the same
+// Lookup path as WithAlgorithmName — there is no per-enum dispatch or
+// error handling left. New constructions registered via Register need no
+// Algorithm value; select them by name.
+//
+// Deprecated: name constructions directly — Params.Algorithm or
+// WithAlgorithmName. The enum cannot reach constructions registered at
+// runtime and exists only for source compatibility.
 type Algorithm int
 
 const (
@@ -105,16 +132,13 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
+// options collects the functional options straight into a canonical
+// Params; the external meter pointer is the only piece of legacy state
+// that is not a Params field (Params carries only the metering opt-in,
+// while WithMeter accumulates into a caller-owned Meter).
 type options struct {
-	algo  string
-	seed  int64
+	p     Params
 	meter *rounds.Meter
-	nodes []int
-}
-
-// runOptions converts the collected facade options to registry RunOptions.
-func (o options) runOptions() *RunOptions {
-	return &RunOptions{Seed: o.seed, Meter: o.meter, Nodes: o.nodes}
 }
 
 // Option configures BallCarve and Decompose.
@@ -124,14 +148,19 @@ type Option interface {
 
 type algoOption Algorithm
 
-func (a algoOption) apply(o *options) { o.algo = Algorithm(a).String() }
+func (a algoOption) apply(o *options) { o.p.Algorithm = Algorithm(a).String() }
 
-// WithAlgorithm selects the construction (default ChangGhaffari).
+// WithAlgorithm selects the construction via the legacy enum. It resolves
+// through the same registry name lookup as WithAlgorithmName: an enum
+// value outside the table yields a name no construction registers, so it
+// fails with ErrUnknownAlgorithm like any other unknown name.
+//
+// Deprecated: use WithAlgorithmName or Params.Algorithm.
 func WithAlgorithm(a Algorithm) Option { return algoOption(a) }
 
 type algoNameOption string
 
-func (a algoNameOption) apply(o *options) { o.algo = string(a) }
+func (a algoNameOption) apply(o *options) { o.p.Algorithm = string(a) }
 
 // WithAlgorithmName selects the construction by registry name, reaching
 // every registered construction — including ones added via Register that
@@ -140,7 +169,7 @@ func WithAlgorithmName(name string) Option { return algoNameOption(name) }
 
 type seedOption int64
 
-func (s seedOption) apply(o *options) { o.seed = int64(s) }
+func (s seedOption) apply(o *options) { o.p.Seed = int64(s) }
 
 // WithSeed sets the seed for the randomized algorithms (default 1).
 func WithSeed(seed int64) Option { return seedOption(seed) }
@@ -155,17 +184,23 @@ func WithMeter(m *Meter) Option { return meterOption{m: m} }
 
 type nodesOption []int
 
-func (ns nodesOption) apply(o *options) { o.nodes = ns }
+func (ns nodesOption) apply(o *options) { o.p.Nodes = ns }
 
 // WithNodes restricts BallCarve to the subgraph induced by the given nodes.
 func WithNodes(nodes []int) Option { return nodesOption(nodes) }
 
-func buildOptions(opts []Option) options {
-	o := options{algo: ChangGhaffari.String(), seed: 1}
+// buildParams folds the options into a canonical Params for the given
+// operation, returning the Params and the legacy external meter (if any).
+// The facade's historical defaults (ChangGhaffari, seed 1) are preserved;
+// everything else — kind normalization, eps canonicalization — is
+// Params.Normalized's job.
+func buildParams(kind Kind, eps float64, opts []Option) (Params, *rounds.Meter) {
+	o := options{p: Params{Algorithm: ChangGhaffari.String(), Kind: kind, Eps: eps, Seed: 1}}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return o
+	o.p.Meter = o.meter != nil
+	return o.p.Normalized(), o.meter
 }
 
 // NewMeter returns an empty round meter for use with WithMeter.
@@ -189,12 +224,16 @@ func BallCarve(g *Graph, eps float64, opts ...Option) (*Carving, error) {
 // BallCarveContext is BallCarve with cancellation and deadline support; a
 // canceled run returns an error matching ErrCanceled.
 func BallCarveContext(ctx context.Context, g *Graph, eps float64, opts ...Option) (*Carving, error) {
-	o := buildOptions(opts)
-	d, err := Lookup(o.algo)
+	p, meter := buildParams(KindCarve, eps, opts)
+	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	return d.Carve(ctx, g, eps, o.runOptions())
+	out, err := registry.ExecMeter(ctx, d, g, p, meter)
+	if err != nil {
+		return nil, err
+	}
+	return out.Carving, nil
 }
 
 // Decompose computes a network decomposition of g: every node is assigned
@@ -209,12 +248,16 @@ func Decompose(g *Graph, opts ...Option) (*Decomposition, error) {
 // DecomposeContext is Decompose with cancellation and deadline support; a
 // canceled run returns an error matching ErrCanceled.
 func DecomposeContext(ctx context.Context, g *Graph, opts ...Option) (*Decomposition, error) {
-	o := buildOptions(opts)
-	d, err := Lookup(o.algo)
+	p, meter := buildParams(KindDecompose, 0, opts)
+	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	return d.Decompose(ctx, g, o.runOptions())
+	out, err := registry.ExecMeter(ctx, d, g, p, meter)
+	if err != nil {
+		return nil, err
+	}
+	return out.Decomposition, nil
 }
 
 // VerifyCarving checks the defining properties of a ball carving: dead
