@@ -1,17 +1,20 @@
-// Command bench runs the substrate performance suite (internal/bench
-// PerfSuite: CSR build, parse, traverse, subgraph, and engine
-// decompose/carve paths) and emits a machine-readable benchmark artifact —
-// the BENCH_*.json trajectory every performance PR is judged against.
+// Command bench runs the substrate performance suites and emits a
+// machine-readable benchmark artifact — the BENCH_*.json trajectory every
+// performance PR is judged against. Two suites run: the PerfSuite from
+// PR 3 (CSR build, parse, traverse, subgraph, engine decompose/carve) and
+// the PR 5 load-path suite (text parse vs binary CSR snapshot streaming
+// read / mmap / trusted mmap on a large workload).
 //
-// The emitted document carries two measurement sets: the recorded
-// pre-CSR-refactor baseline (fixed numbers, measured once on the [][]int
-// adjacency representation before it was replaced) and the current run on
-// this machine. The acceptance block compares the engine multi-component
-// decompose path between the two.
+// The emitted document carries the recorded pre-CSR-refactor baseline
+// (fixed numbers, measured once on the [][]int adjacency representation
+// before it was replaced), the current run on this machine, and the
+// load-path rows. Two acceptance blocks summarize the headlines: engine
+// decompose allocations before/after the CSR refactor, and snapshot mmap
+// open vs the fastest text parse.
 //
 // Usage:
 //
-//	bench [-out BENCH_pr3.json] [-short] [-algos chang-ghaffari,...] [-text]
+//	bench [-out BENCH_pr5.json] [-short] [-algos chang-ghaffari,...] [-text]
 package main
 
 import (
@@ -61,9 +64,16 @@ type document struct {
 	Baseline     []bench.PerfResult `json:"baseline"`
 	Current      []bench.PerfResult `json:"current"`
 
+	// LoadPath is the PR 5 load-path suite: text parse vs binary CSR
+	// snapshot (streaming read, mmap, trusted mmap) on the large workload.
+	LoadPath []bench.PerfResult `json:"loadPath"`
+
 	// Acceptance summarizes the headline comparison: allocations per op on
 	// the engine multi-component decompose path, before vs after.
 	Acceptance acceptance `json:"acceptance"`
+	// LoadPathAcceptance summarizes the PR 5 criterion: the mmap snapshot
+	// load must beat the fastest text parse on the large workload.
+	LoadPathAcceptance loadPathAcceptance `json:"loadPathAcceptance"`
 }
 
 type acceptance struct {
@@ -72,6 +82,18 @@ type acceptance struct {
 	CurrentAllocs     int64   `json:"currentAllocsPerOp"`
 	AllocsRatio       float64 `json:"allocsImprovementRatio"`
 	MeetsTwoXCriteria bool    `json:"meetsTwoXCriteria"`
+}
+
+// loadPathAcceptance compares the mmap snapshot load against the fastest
+// text parse of the same workload.
+type loadPathAcceptance struct {
+	Workload string `json:"workload"`
+	// FastestParse and its ns/op; MmapNs is the verified LoadCSR path.
+	FastestParse     string  `json:"fastestParsePath"`
+	FastestParseNs   int64   `json:"fastestParseNsPerOp"`
+	MmapNs           int64   `json:"mmapNsPerOp"`
+	SpeedupRatio     float64 `json:"speedupRatio"`
+	MmapBeatsParsing bool    `json:"mmapBeatsParsing"`
 }
 
 func main() {
@@ -107,9 +129,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	loadResults, err := bench.LoadPathSuite(*short)
+	if err != nil {
+		return err
+	}
 
 	if *asText {
 		fmt.Print(bench.FormatPerf(results))
+		fmt.Print(bench.FormatPerf(loadResults))
 		return nil
 	}
 
@@ -117,18 +144,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	loadAcc, err := buildLoadPathAcceptance(loadResults)
+	if err != nil {
+		return err
+	}
 	doc := document{
-		Schema:       "strongdecomp-bench/v1",
-		PR:           "pr3",
-		GoVersion:    runtime.Version(),
-		GOOS:         runtime.GOOS,
-		GOARCH:       runtime.GOARCH,
-		CPUs:         runtime.NumCPU(),
-		Short:        *short,
-		BaselineNote: "pre-CSR-refactor measurement at commit e59f2ab ([][]int adjacency, map-based remap); allocs/op machine-independent, ns/op comparable on like hardware only; parse-json has no baseline row (the pre-refactor suite did not measure it)",
-		Baseline:     preRefactorBaseline,
-		Current:      results,
-		Acceptance:   acc,
+		Schema:             "strongdecomp-bench/v2",
+		PR:                 "pr5",
+		GoVersion:          runtime.Version(),
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		CPUs:               runtime.NumCPU(),
+		Short:              *short,
+		BaselineNote:       "pre-CSR-refactor measurement at commit e59f2ab ([][]int adjacency, map-based remap); allocs/op machine-independent, ns/op comparable on like hardware only; parse-json has no baseline row (the pre-refactor suite did not measure it)",
+		Baseline:           preRefactorBaseline,
+		Current:            results,
+		LoadPath:           loadResults,
+		Acceptance:         acc,
+		LoadPathAcceptance: loadAcc,
 	}
 	data, err := json.MarshalIndent(doc, "", " ")
 	if err != nil {
@@ -142,9 +175,32 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (engine decompose allocs/op: %d -> %d, %.1fx fewer)\n",
-		*out, doc.Acceptance.BaselineAllocs, doc.Acceptance.CurrentAllocs, doc.Acceptance.AllocsRatio)
+	fmt.Printf("wrote %s (engine decompose allocs/op: %d -> %d, %.1fx fewer; snapshot mmap vs %s: %.1fx faster)\n",
+		*out, doc.Acceptance.BaselineAllocs, doc.Acceptance.CurrentAllocs, doc.Acceptance.AllocsRatio,
+		doc.LoadPathAcceptance.FastestParse, doc.LoadPathAcceptance.SpeedupRatio)
 	return nil
+}
+
+// buildLoadPathAcceptance extracts the PR 5 headline: verified mmap open
+// vs the fastest text parse.
+func buildLoadPathAcceptance(results []bench.PerfResult) (loadPathAcceptance, error) {
+	acc := loadPathAcceptance{Workload: bench.LoadWorkloadName}
+	for _, r := range results {
+		switch r.Name {
+		case "loadpath-parse-edgelist", "loadpath-parse-metis", "loadpath-parse-json":
+			if acc.FastestParseNs == 0 || r.NsPerOp < acc.FastestParseNs {
+				acc.FastestParse, acc.FastestParseNs = r.Name, r.NsPerOp
+			}
+		case "loadpath-csr-mmap":
+			acc.MmapNs = r.NsPerOp
+		}
+	}
+	if acc.MmapNs <= 0 || acc.FastestParseNs <= 0 {
+		return acc, fmt.Errorf("load-path suite missing parse or mmap rows")
+	}
+	acc.SpeedupRatio = float64(acc.FastestParseNs) / float64(acc.MmapNs)
+	acc.MmapBeatsParsing = acc.MmapNs < acc.FastestParseNs
+	return acc, nil
 }
 
 func buildAcceptance(current []bench.PerfResult) (acceptance, error) {

@@ -4,10 +4,13 @@
 //
 // The -algo flag accepts any name in the algorithm registry (see
 // -list-algos); -timeout bounds the run via context cancellation. With
-// -input the graph is read from a file (edge list, METIS, or JSON,
-// detected by extension) instead of a generator; -omit-edges drops the
-// edge list from the output document for large graphs (pair it with
-// verify -input so the verifier reloads the graph from the same file).
+// -input the graph is read from a file (edge list, METIS, JSON, or a
+// binary .csr snapshot, detected by extension — snapshots open via mmap
+// with no parse) instead of a generator; -save-graph writes the input
+// graph back out in any format, so one text parse can be amortized into
+// a .csr snapshot for every later run; -omit-edges drops the edge list
+// from the output document for large graphs (pair it with verify -input
+// so the verifier reloads the graph from the same file).
 // With -stream the result is emitted as an NDJSON cluster stream (header,
 // one record per cluster, end record) instead of one JSON document, so
 // huge results pipe without a second in-memory copy.
@@ -67,8 +70,9 @@ func run() error {
 	var (
 		gen       = flag.String("gen", "gnp", "graph family: gnp|grid|path|tree|expander|subdivided|clusters|torus|hypercube")
 		n         = flag.Int("n", 1024, "approximate node count")
-		input     = flag.String("input", "", "read the graph from this file (.el/.edges/.txt, .metis/.graph, .json) instead of -gen")
+		input     = flag.String("input", "", "read the graph from this file (.el/.edges/.txt, .metis/.graph, .json, .csr snapshot) instead of -gen")
 		omitEdges = flag.Bool("omit-edges", false, "omit the edge list from the output document (verify needs -input then)")
+		saveGraph = flag.String("save-graph", "", "also write the input graph to this file (format by extension; .csr makes a binary snapshot that reloads via mmap)")
 		algo      = flag.String("algo", "chang-ghaffari", "registered algorithm: "+strings.Join(strongdecomp.Algorithms(), "|"))
 		carve     = flag.Bool("carve", false, "run a ball carving instead of a full decomposition")
 		eps       = flag.Float64("eps", 0.5, "carving boundary parameter")
@@ -82,10 +86,11 @@ func run() error {
 	if *listAlgos {
 		return printAlgorithms(os.Stdout)
 	}
-	if *omitEdges && *input == "" {
+	if *omitEdges && *input == "" && *saveGraph == "" {
 		// A generated graph exists nowhere but in this document; omitting
-		// its edges would make the output unverifiable.
-		return fmt.Errorf("-omit-edges requires -input (verify reloads the graph from that file)")
+		// its edges would make the output unverifiable. -save-graph counts
+		// as an on-disk home for the graph (verify -input that file).
+		return fmt.Errorf("-omit-edges requires -input or -save-graph (verify reloads the graph from that file)")
 	}
 
 	ctx := context.Background()
@@ -106,6 +111,11 @@ func run() error {
 	}
 	if err != nil {
 		return err
+	}
+	if *saveGraph != "" {
+		if err := strongdecomp.SaveGraph(*saveGraph, g); err != nil {
+			return err
+		}
 	}
 	// One canonical Params value carries the whole flag set into the run.
 	p := strongdecomp.Params{
@@ -136,8 +146,12 @@ func run() error {
 		return graphio.WriteClusterStream(os.Stdout, hdr, out.Decomposition.Clusters())
 	}
 
+	source := *input
+	if source == "" {
+		source = *saveGraph // a generated graph saved to disk lives there
+	}
 	res := Result{
-		N: g.N(), Source: *input, Hash: strongdecomp.HashGraph(g),
+		N: g.N(), Source: source, Hash: strongdecomp.HashGraph(g),
 		Algo: out.Params.Algorithm, Seed: *seed, Rounds: out.Rounds,
 	}
 	if *omitEdges {

@@ -8,7 +8,8 @@
 //	GET    /healthz              liveness
 //	GET    /metrics              service + engine counters
 //	GET    /v1/algorithms        registered constructions
-//	POST   /v1/graphs            upload a graph (?format=edgelist|metis|json)
+//	POST   /v1/graphs            upload a graph (?format=edgelist|metis|json|csr)
+//	GET    /v1/graphs/{hash}     stored-graph metadata; ?format= downloads it
 //	POST   /v1/decompose         {"graph": {...} | "hash": "...", "algo": "...", "seed": 1}
 //	POST   /v1/carve             same, plus "eps"
 //	POST   /v2/jobs              async submit (adds "kind", "timeout_ms"); 202 + job ID
@@ -16,10 +17,16 @@
 //	DELETE /v2/jobs/{id}         cancel by ID
 //	GET    /v2/jobs/{id}/result  result; ?stream=1 for NDJSON cluster streaming
 //
+// With -data-dir the service is persistent: uploaded graphs spill to
+// binary CSR snapshots and computed results to JSON records under that
+// directory, so a restarted server answers by-hash requests and repeated
+// computations without re-upload or recomputation (see docs/API.md and
+// the README "Persistence" section).
+//
 // Usage:
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
-//	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m]
+//	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m] [-data-dir /var/lib/strongdecomp]
 package main
 
 import (
@@ -59,13 +66,15 @@ func run() error {
 		jobQueue   = flag.Int("job-queue", 64, "async job queue bound (full queue answers 429)")
 		jobWorkers = flag.Int("job-workers", 2, "concurrent async jobs")
 		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results")
+
+		dataDir = flag.String("data-dir", "", "persist graphs (binary CSR snapshots) and results under this directory; a restart serves them without re-upload or recomputation")
 	)
 	flag.Parse()
 
 	if _, err := strongdecomp.Lookup(*algo); err != nil {
 		return err
 	}
-	svc := strongdecomp.NewService(
+	svc, err := strongdecomp.NewService(
 		strongdecomp.WithServiceAlgorithm(*algo),
 		strongdecomp.WithServiceWorkers(*workers),
 		strongdecomp.WithServiceCacheSize(*cache),
@@ -74,7 +83,11 @@ func run() error {
 		strongdecomp.WithServiceJobQueue(*jobQueue),
 		strongdecomp.WithServiceJobWorkers(*jobWorkers),
 		strongdecomp.WithServiceJobTTL(*jobTTL),
+		strongdecomp.WithServiceDataDir(*dataDir),
 	)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,

@@ -8,16 +8,18 @@
 // construction is deterministic given its seed, so the reproduced
 // assignment must match the document exactly.
 //
-// With -input the host graph is loaded from a file (edge list, METIS, or
-// JSON, detected by extension) instead of the document's embedded edge
-// list — the file-based twin of decompose -input, and the only way to
-// verify documents produced with -omit-edges. When the document does embed
-// a graph, the file must match it (same node count and content hash).
+// With -input the host graph is loaded from a file (edge list, METIS,
+// JSON, or a binary .csr snapshot, detected by extension — snapshots open
+// via mmap with no parse) instead of the document's embedded edge list —
+// the file-based twin of decompose -input, and the only way to verify
+// documents produced with -omit-edges. When the document does embed a
+// graph, the file must match it (same node count and content hash).
 //
 // Usage:
 //
 //	decompose -gen grid -n 400 | verify [-eps 0.5] [-max-diam -1] [-rerun]
 //	decompose -input web.metis -omit-edges | verify -input web.metis
+//	decompose -input web.csr -omit-edges | verify -input web.csr
 package main
 
 import (
@@ -60,7 +62,7 @@ func run() error {
 		maxDiam   = flag.Int("max-diam", -1, "optional strong-diameter bound to enforce (-1: skip)")
 		strong    = flag.Bool("strong", true, "measure diameters in the induced subgraph")
 		rerun     = flag.Bool("rerun", false, "re-execute the document's registered algorithm with its seed and demand an identical result")
-		input     = flag.String("input", "", "load the host graph from this file instead of the document's edge list")
+		input     = flag.String("input", "", "load the host graph from this file (.el/.metis/.json/.csr) instead of the document's edge list")
 		listAlgos = flag.Bool("list-algos", false, "list the registered algorithms and exit")
 	)
 	flag.Parse()

@@ -1,0 +1,106 @@
+package graph
+
+// This file is the raw-CSR surface of the graph package: read-only access
+// to the two flat adjacency arrays for serializers (graphio's binary
+// snapshot writer streams them to disk verbatim) and a validating
+// constructor that wraps externally supplied arrays — the path the
+// mmap-backed snapshot loader uses to open a saved graph with no Builder
+// pass: no edge buffer, no sort, no scatter.
+
+import "fmt"
+
+// CSR returns views of the graph's two flat adjacency arrays: offsets
+// (length N()+1) and targets (length 2·M()). Node v's sorted neighbor row
+// is targets[offsets[v]:offsets[v+1]]. The slices alias the graph's
+// backing storage and must not be modified; they are the exact bytes the
+// binary snapshot format persists.
+func (g *Graph) CSR() (offsets []int64, targets []int) {
+	return g.offsets, g.targets
+}
+
+// NewFromCSR wraps already-built CSR arrays in a Graph after validating
+// every representation invariant (see the Graph doc comment): offsets
+// monotone and anchored, rows strictly increasing with in-range targets
+// and no self-loops, and adjacency symmetry. The arrays are adopted, not
+// copied — the caller must not modify them afterwards — which is what
+// lets the mmap snapshot loader open a multi-gigabyte graph without
+// rebuilding or even touching most pages.
+func NewFromCSR(offsets []int64, targets []int) (*Graph, error) {
+	if err := validateCSR(offsets, targets); err != nil {
+		return nil, err
+	}
+	return &Graph{offsets: offsets, targets: targets, m: len(targets) / 2}, nil
+}
+
+// WrapCSR wraps CSR arrays in a Graph without validating them. It exists
+// for loaders that have already proven the arrays byte-identical to ones a
+// valid Graph produced (an integrity-checksummed snapshot written by
+// graph.CSR + graphio.WriteCSR); every other caller wants NewFromCSR.
+// Handing WrapCSR arrays that violate the Graph invariants makes later
+// traversals panic or return garbage.
+func WrapCSR(offsets []int64, targets []int) *Graph {
+	return &Graph{offsets: offsets, targets: targets, m: len(targets) / 2}
+}
+
+// validateCSR checks the full Graph invariant set over raw arrays in
+// O(n + m): one monotonicity-and-sortedness pass, then a cursor-sweep
+// symmetry check — as u ascends, each forward edge (u, v) must consume
+// the next unconsumed back-edge slot of row v, which works (and costs no
+// binary searches) precisely because rows are sorted.
+func validateCSR(offsets []int64, targets []int) error {
+	if len(offsets) == 0 {
+		return fmt.Errorf("graph: csr offsets empty (need at least [0])")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return fmt.Errorf("graph: csr offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(targets)) {
+		return fmt.Errorf("graph: csr offsets[%d] = %d, want len(targets) = %d", n, offsets[n], len(targets))
+	}
+	if len(targets)%2 != 0 {
+		return fmt.Errorf("graph: csr targets length %d is odd", len(targets))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return fmt.Errorf("graph: csr offsets decrease at node %d (%d -> %d)", v, offsets[v], offsets[v+1])
+		}
+		row := targets[offsets[v]:offsets[v+1]]
+		prev := -1
+		for _, u := range row {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: csr node %d has neighbor %d outside [0,%d)", v, u, n)
+			}
+			if u == v {
+				return fmt.Errorf("graph: csr self-loop at %d", v)
+			}
+			if u <= prev {
+				return fmt.Errorf("graph: csr row of node %d not strictly increasing at neighbor %d", v, u)
+			}
+			prev = u
+		}
+	}
+	// cursor[v] walks row v's backward neighbors (< v) in step with the
+	// ascending sweep of u; every forward edge must find its mirror at the
+	// cursor, and every cursor must end exactly at its row's first forward
+	// neighbor.
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range targets[offsets[u]:offsets[u+1]] {
+			if v <= u {
+				continue // back-edges are consumed from the other side
+			}
+			if cursor[v] >= offsets[v+1] || targets[cursor[v]] != u {
+				return fmt.Errorf("graph: csr asymmetric edge: %d lists %d but not vice versa", u, v)
+			}
+			cursor[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if cursor[v] < offsets[v+1] && targets[cursor[v]] < v {
+			return fmt.Errorf("graph: csr asymmetric edge: %d lists %d but not vice versa", v, targets[cursor[v]])
+		}
+	}
+	return nil
+}

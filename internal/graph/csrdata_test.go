@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestCSRAccessorRoundTrip: the arrays CSR() exposes reconstruct the same
+// graph through NewFromCSR, sharing storage (zero copy).
+func TestCSRAccessorRoundTrip(t *testing.T) {
+	graphs := map[string]*Graph{
+		"cluster":  ClusterGraph(3, 6, 0.5, 1),
+		"gnp":      Gnp(40, 0.2, 2),
+		"path":     Path(7),
+		"single":   Path(1),
+		"empty":    Path(0),
+		"disjoint": DisjointUnion(Cycle(5), Star(4)),
+	}
+	for name, g := range graphs {
+		offsets, targets := g.CSR()
+		if len(offsets) != g.N()+1 || len(targets) != 2*g.M() {
+			t.Fatalf("%s: CSR lengths %d/%d, want %d/%d", name, len(offsets), len(targets), g.N()+1, 2*g.M())
+		}
+		got, err := NewFromCSR(offsets, targets)
+		if err != nil {
+			t.Fatalf("%s: NewFromCSR rejected valid arrays: %v", name, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("%s: n=%d m=%d, want n=%d m=%d", name, got.N(), got.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if !slices.Equal(got.Neighbors(v), g.Neighbors(v)) {
+				t.Fatalf("%s: node %d rows differ", name, v)
+			}
+		}
+	}
+}
+
+// TestNewFromCSRRejectsInvalid drives every structural violation a
+// checksum cannot catch through the validator: these are the array shapes
+// a hostile (or buggy-writer) snapshot could carry with a perfectly
+// consistent checksum.
+func TestNewFromCSRRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int64
+		targets []int
+		wantSub string
+	}{
+		{"empty-offsets", []int64{}, nil, "offsets empty"},
+		{"bad-anchor", []int64{1, 2}, []int{0}, "offsets[0]"},
+		{"bad-terminal", []int64{0, 4}, []int{1, 0}, "want len(targets)"},
+		{"odd-targets", []int64{0, 1, 1, 1}, []int{1}, "odd"},
+		{"decreasing-offsets", []int64{0, 2, 1, 4}, []int{1, 2, 0, 0}, "decrease"},
+		{"out-of-range-target", []int64{0, 1, 2}, []int{1, 5}, "outside"},
+		{"negative-target", []int64{0, 1, 2}, []int{1, -1}, "outside"},
+		{"self-loop", []int64{0, 1, 2}, []int{0, 0}, "self-loop"},
+		{"unsorted-row", []int64{0, 2, 3, 5, 6}, []int{2, 1, 0, 0, 3, 2}, "strictly increasing"},
+		{"duplicate-in-row", []int64{0, 2, 4}, []int{1, 1, 0, 0}, "strictly increasing"},
+		// Nodes 0 and 2 both list 1, but node 1's row is empty.
+		{"asymmetric-forward", []int64{0, 1, 1, 2}, []int{1, 1}, "vice versa"},
+		// Nodes 1 and 2 carry back-edges their mirrors never announce.
+		{"asymmetric-backward", []int64{0, 0, 1, 2}, []int{0, 1}, "vice versa"},
+		// Every row sorted, every edge one-directional: 0→1→2→3→0.
+		{"mismatched-pair", []int64{0, 1, 2, 3, 4}, []int{1, 2, 3, 0}, "vice versa"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFromCSR(tc.offsets, tc.targets)
+			if err == nil {
+				t.Fatalf("NewFromCSR accepted %s", tc.name)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestNewFromCSRAsymmetricTail: a row whose backward neighbors are not
+// fully consumed by the sweep (the mirror rows are silent) must fail —
+// this is the case the final cursor pass exists for.
+func TestNewFromCSRAsymmetricTail(t *testing.T) {
+	// Node 2 lists back-neighbor 1, but node 1's row is empty: the sweep
+	// never consumes it, and only the final pass can notice.
+	offsets := []int64{0, 0, 0, 1, 2}
+	targets := []int{1, 2} // row 2: [1]; row 3: [2]
+	if _, err := NewFromCSR(offsets, targets); err == nil {
+		t.Fatal("unconsumed back-edge accepted")
+	}
+}
+
+// TestWrapCSRTrustsCaller pins the no-validation contract: WrapCSR adopts
+// arrays as-is (the snapshot loader has already proven them via checksum).
+func TestWrapCSRTrustsCaller(t *testing.T) {
+	g := Cycle(6)
+	offsets, targets := g.CSR()
+	w := WrapCSR(offsets, targets)
+	if w.N() != 6 || w.M() != 6 || !slices.Equal(w.Neighbors(3), g.Neighbors(3)) {
+		t.Fatal("WrapCSR changed the graph")
+	}
+}

@@ -43,6 +43,12 @@ const (
 	FormatMETIS
 	// FormatJSON is the JSON graph document {"n": ..., "edges": [[u,v], ...]}.
 	FormatJSON
+	// FormatCSR is the versioned binary CSR snapshot (.csr): magic,
+	// version, node/edge counts, the graph's two flat CSR arrays verbatim,
+	// and a SHA-256 checksum footer. It is the only format whose load path
+	// is not a parse — Load memory-maps the arrays in place (see snapshot.go
+	// and the DESIGN.md format spec).
+	FormatCSR
 )
 
 // MaxNodes caps the node count any parser accepts. Inputs declaring more
@@ -54,6 +60,8 @@ const MaxNodes = 1 << 24
 // graphs are long; anything beyond this is rejected, not buffered).
 const maxLineBytes = 64 << 20
 
+// String returns the canonical format name as accepted by ParseFormat
+// and the HTTP ?format= parameter.
 func (f Format) String() string {
 	switch f {
 	case FormatEdgeList:
@@ -62,6 +70,8 @@ func (f Format) String() string {
 		return "metis"
 	case FormatJSON:
 		return "json"
+	case FormatCSR:
+		return "csr"
 	default:
 		return "unknown"
 	}
@@ -77,14 +87,16 @@ func ParseFormat(name string) (Format, error) {
 		return FormatMETIS, nil
 	case "json":
 		return FormatJSON, nil
+	case "csr", "snapshot":
+		return FormatCSR, nil
 	default:
-		return FormatUnknown, fmt.Errorf("graphio: unknown format %q (want edgelist|metis|json)", name)
+		return FormatUnknown, fmt.Errorf("graphio: unknown format %q (want edgelist|metis|json|csr)", name)
 	}
 }
 
 // DetectFormat infers the format from a file path's extension:
 // .el/.edges/.edgelist/.txt → edge list, .metis/.graph → METIS,
-// .json → JSON.
+// .json → JSON, .csr → binary CSR snapshot.
 func DetectFormat(path string) (Format, error) {
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".el", ".edges", ".edgelist", ".txt":
@@ -93,8 +105,10 @@ func DetectFormat(path string) (Format, error) {
 		return FormatMETIS, nil
 	case ".json":
 		return FormatJSON, nil
+	case ".csr":
+		return FormatCSR, nil
 	default:
-		return FormatUnknown, fmt.Errorf("graphio: cannot detect format of %q (known extensions: .el .edges .edgelist .txt .metis .graph .json)", path)
+		return FormatUnknown, fmt.Errorf("graphio: cannot detect format of %q (known extensions: .el .edges .edgelist .txt .metis .graph .json .csr)", path)
 	}
 }
 
@@ -107,6 +121,8 @@ func Read(r io.Reader, f Format) (*graph.Graph, error) {
 		return ReadMETIS(r)
 	case FormatJSON:
 		return ReadJSON(r)
+	case FormatCSR:
+		return ReadCSR(r)
 	default:
 		return nil, fmt.Errorf("graphio: cannot read format %v", f)
 	}
@@ -121,17 +137,28 @@ func Write(w io.Writer, g *graph.Graph, f Format) error {
 		return WriteMETIS(w, g)
 	case FormatJSON:
 		return WriteJSON(w, g)
+	case FormatCSR:
+		return WriteCSR(w, g)
 	default:
 		return fmt.Errorf("graphio: cannot write format %v", f)
 	}
 }
 
 // Load reads the graph file at path, detecting the format from the
-// extension.
+// extension. A .csr snapshot takes the mmap fast path (LoadCSR): the
+// adjacency arrays are the mapped file pages, verified but never copied
+// or rebuilt.
 func Load(path string) (*graph.Graph, error) {
 	f, err := DetectFormat(path)
 	if err != nil {
 		return nil, err
+	}
+	if f == FormatCSR {
+		g, err := LoadCSR(path)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: %s: %w", path, err)
+		}
+		return g, nil
 	}
 	file, err := os.Open(path)
 	if err != nil {
@@ -145,11 +172,16 @@ func Load(path string) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Save writes g to path in the format detected from the extension.
+// Save writes g to path in the format detected from the extension. A
+// .csr snapshot is written through a temp file and an atomic rename
+// (SaveCSR), so readers never observe a half-written binary file.
 func Save(path string, g *graph.Graph) error {
 	f, err := DetectFormat(path)
 	if err != nil {
 		return err
+	}
+	if f == FormatCSR {
+		return SaveCSR(path, g)
 	}
 	file, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package graphio
+
+// Fallback for platforms without syscall.Mmap support wired up: report
+// mapping as unavailable so the snapshot loader reads the file into
+// memory instead. The format and all verification behave identically;
+// only the zero-copy property is lost.
+
+import "errors"
+
+// mmapFile always fails on this platform, selecting the read-everything
+// fallback in loadSnapshot.
+func mmapFile(path string) ([]byte, func(), error) {
+	return nil, nil, errors.New("graphio: mmap unsupported on this platform")
+}

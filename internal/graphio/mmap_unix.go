@@ -1,0 +1,39 @@
+//go:build linux || darwin
+
+package graphio
+
+// Memory-mapped file access for the binary snapshot loader on platforms
+// with syscall.Mmap. The mapping is read-only and shared: the kernel pages
+// the adjacency arrays in on demand and can evict them under pressure, so
+// an open snapshot costs address space, not resident memory, until rows
+// are touched.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapped bytes plus an unmap
+// function. Errors (including zero-length files, which cannot be mapped)
+// make the caller fall back to a plain read.
+func mmapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("graphio: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -42,7 +42,7 @@ func generatorCorpus() map[string]*graph.Graph {
 // with isomorphic (in fact identical) adjacency and an unchanged content
 // hash.
 func TestRoundTripAllGeneratorsAllFormats(t *testing.T) {
-	formats := []Format{FormatEdgeList, FormatMETIS, FormatJSON}
+	formats := []Format{FormatEdgeList, FormatMETIS, FormatJSON, FormatCSR}
 	for name, g := range generatorCorpus() {
 		for _, f := range formats {
 			t.Run(fmt.Sprintf("%s/%v", name, f), func(t *testing.T) {

@@ -1,0 +1,7 @@
+// Package lint holds the repository's self-contained static checks. The
+// only current check is the doc-comment lint (doccheck_test.go): every
+// exported identifier in the public facade and the core internal packages
+// (graph, graphio, service and its httpapi) must carry a godoc comment.
+// It runs as an ordinary test, so `go test ./...` — and therefore CI —
+// enforces it without external linter dependencies.
+package lint

@@ -5,6 +5,8 @@
 //	GET    /metrics              expvar-style service + backend counters
 //	GET    /v1/algorithms        the algorithm registry (name, model, bounds)
 //	POST   /v1/graphs            upload a graph, get its content hash
+//	GET    /v1/graphs/{hash}     stored-graph metadata, or the graph
+//	                             itself with ?format=edgelist|metis|json|csr
 //	POST   /v1/decompose         decompose a graph (inline or by hash)
 //	POST   /v1/carve             ball-carve a graph (inline or by hash)
 //	POST   /v2/jobs              submit an async job; 202 with a job ID
@@ -14,9 +16,11 @@
 //	GET    /v2/jobs/{id}/result  fetch a done job's result; ?stream=1
 //	                             streams clusters as NDJSON
 //
-// Graph uploads accept any graphio format (?format=edgelist|metis|json,
+// Graph uploads accept any graphio format (?format=edgelist|metis|json|csr,
 // default json); compute requests carry the graph inline as a JSON graph
-// document or reference a previously uploaded content hash. Every request
+// document or reference a previously uploaded content hash. When the
+// service runs with a data directory, by-hash lookups and repeated
+// computations are served across restarts from the disk tier. Every request
 // resolves into one canonical registry.Params inside the service, so v1
 // and v2, sync and async, all share defaults, validation, and cache
 // identity. Typed service errors map onto status codes: invalid requests
@@ -48,6 +52,7 @@ func New(s *service.Service) http.Handler {
 	mux.HandleFunc("GET /metrics", api.metrics)
 	mux.HandleFunc("GET /v1/algorithms", api.algorithms)
 	mux.HandleFunc("POST /v1/graphs", api.putGraph)
+	mux.HandleFunc("GET /v1/graphs/{hash}", api.getGraph)
 	mux.HandleFunc("POST /v1/decompose", api.compute(false))
 	mux.HandleFunc("POST /v1/carve", api.compute(true))
 	mux.HandleFunc("POST /v2/jobs", api.submitJob)
@@ -119,6 +124,39 @@ func (a *api) putGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := a.svc.PutGraph(g)
 	writeJSON(w, http.StatusOK, graphResponse{Hash: hash, N: g.N(), M: g.M()})
+}
+
+// getGraph is GET /v1/graphs/{hash}: metadata for a stored graph (memory
+// or disk tier), or — with ?format=edgelist|metis|json|csr — the graph
+// itself serialized in that format. 404 for hashes the store does not
+// hold.
+func (a *api) getGraph(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	g, ok := a.svc.GetGraph(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", service.ErrUnknownGraph, hash))
+		return
+	}
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		writeJSON(w, http.StatusOK, graphResponse{Hash: hash, N: g.N(), M: g.M()})
+		return
+	}
+	format, err := graphio.ParseFormat(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch format {
+	case graphio.FormatJSON:
+		w.Header().Set("Content-Type", "application/json")
+	case graphio.FormatCSR:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	_ = graphio.Write(w, g, format) // status line is out; a broken pipe is the client's problem
 }
 
 // computeRequest is the body of /v1/decompose, /v1/carve, and (with Kind)

@@ -38,7 +38,11 @@ func newTestServer(t *testing.T) (*httptest.Server, string) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { registry.Unregister(algo) })
-	srv := httptest.NewServer(New(service.New(service.Config{DefaultAlgorithm: algo})))
+	svc, err := service.New(service.Config{DefaultAlgorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(svc))
 	t.Cleanup(srv.Close)
 	return srv, algo
 }
@@ -266,5 +270,88 @@ func TestServiceHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad metis: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServiceHTTPGraphGetAndCSRDownload covers GET /v1/graphs/{hash}:
+// metadata by default, the serialized graph with ?format=, a binary CSR
+// download that decodes back to the same graph, and 404 for unknown
+// hashes.
+func TestServiceHTTPGraphGetAndCSRDownload(t *testing.T) {
+	srv, _ := newTestServer(t)
+	g := graph.Grid(3, 4)
+
+	var buf bytes.Buffer
+	if err := graphio.WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/graphs?format=csr", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		Hash string `json:"hash"`
+		N    int    `json:"n"`
+		M    int    `json:"m"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || up.Hash != graphio.Hash(g) {
+		t.Fatalf("csr upload: status %d, %+v", resp.StatusCode, up)
+	}
+
+	// Metadata GET.
+	mresp, err := http.Get(srv.URL + "/v1/graphs/" + up.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Hash string `json:"hash"`
+		N    int    `json:"n"`
+		M    int    `json:"m"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || meta.N != g.N() || meta.M != g.M() || meta.Hash != up.Hash {
+		t.Fatalf("graph GET: status %d, %+v", mresp.StatusCode, meta)
+	}
+
+	// Binary download round-trips.
+	dresp, err := http.Get(srv.URL + "/v1/graphs/" + up.Hash + "?format=csr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := dresp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("csr download content-type %q", ct)
+	}
+	got, err := graphio.ReadCSR(dresp.Body)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatalf("downloaded snapshot does not decode: %v", err)
+	}
+	if graphio.Hash(got) != up.Hash {
+		t.Fatal("downloaded snapshot decodes to a different graph")
+	}
+
+	// Unknown hash → 404; bad format → 400.
+	nresp, err := http.Get(srv.URL + "/v1/graphs/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown hash status %d, want 404", nresp.StatusCode)
+	}
+	bresp, err := http.Get(srv.URL + "/v1/graphs/" + up.Hash + "?format=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status %d, want 400", bresp.StatusCode)
 	}
 }

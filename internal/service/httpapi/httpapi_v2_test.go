@@ -217,9 +217,13 @@ func TestV2QueueBackpressure(t *testing.T) {
 	defer close(gate)
 	started := make(chan struct{}, 1)
 	algo := registerBlockingStub(t, gate, started)
-	srv := httptest.NewServer(New(service.New(service.Config{
+	svc, err := service.New(service.Config{
 		DefaultAlgorithm: algo, JobWorkers: 1, JobQueue: 1,
-	})))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(svc))
 	t.Cleanup(srv.Close)
 
 	doc := map[string]any{"graph": map[string]any{"n": 3, "edges": [][]int{{0, 1}, {1, 2}}}, "algo": algo}

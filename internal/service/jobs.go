@@ -36,12 +36,14 @@ var (
 // JobState is the lifecycle state of an async job.
 type JobState string
 
+// The job lifecycle: queued → running → done | failed | canceled. A
+// queued job may also go straight to canceled.
 const (
-	JobQueued   JobState = "queued"
-	JobRunning  JobState = "running"
-	JobDone     JobState = "done"
-	JobFailed   JobState = "failed"
-	JobCanceled JobState = "canceled"
+	JobQueued   JobState = "queued"   // accepted, waiting for a worker
+	JobRunning  JobState = "running"  // executing on a worker
+	JobDone     JobState = "done"     // finished; result retrievable until TTL
+	JobFailed   JobState = "failed"   // computation errored; Error holds why
+	JobCanceled JobState = "canceled" // canceled before or during execution
 )
 
 // Terminal reports whether the state is final.

@@ -66,7 +66,7 @@ func waitForJob(t *testing.T, s *Service, id string, ok func(*Job) bool) *Job {
 
 func TestJobLifecycleDone(t *testing.T) {
 	algo := registerGatedStub(t, nil, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 	g := graph.Cycle(8)
 
@@ -104,7 +104,7 @@ func TestJobCancelWhileQueued(t *testing.T) {
 	started := make(chan struct{}, 16)
 	algo := registerGatedStub(t, gate, started)
 	// One worker: the first job occupies it, the second stays queued.
-	s := New(Config{JobWorkers: 1})
+	s, _ := New(Config{JobWorkers: 1})
 	defer s.Close()
 
 	blocker, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
@@ -139,7 +139,7 @@ func TestJobCancelMidRun(t *testing.T) {
 	gate := make(chan struct{}) // never closed: only cancellation ends the run
 	started := make(chan struct{}, 1)
 	algo := registerGatedStub(t, gate, started)
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 
 	id, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
@@ -173,7 +173,7 @@ func TestJobCancelMidRun(t *testing.T) {
 
 func TestJobRetentionExpiry(t *testing.T) {
 	algo := registerGatedStub(t, nil, nil)
-	s := New(Config{JobTTL: 30 * time.Millisecond})
+	s, _ := New(Config{JobTTL: 30 * time.Millisecond})
 	defer s.Close()
 
 	id, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo})
@@ -196,7 +196,7 @@ func TestJobQueueFullBackpressure(t *testing.T) {
 	defer close(gate)
 	started := make(chan struct{}, 1)
 	algo := registerGatedStub(t, gate, started)
-	s := New(Config{JobWorkers: 1, JobQueue: 2})
+	s, _ := New(Config{JobWorkers: 1, JobQueue: 2})
 	defer s.Close()
 	g := graph.Cycle(6)
 
@@ -221,7 +221,7 @@ func TestJobQueueFullBackpressure(t *testing.T) {
 
 func TestJobSubmitValidation(t *testing.T) {
 	algo := registerGatedStub(t, nil, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 	g := graph.Cycle(4)
 
@@ -248,7 +248,7 @@ func TestJobSubmitValidation(t *testing.T) {
 }
 
 func TestJobUnknownID(t *testing.T) {
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 	if _, err := s.Job("jdeadbeef"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Job err = %v", err)
@@ -263,7 +263,7 @@ func TestServiceCloseSettlesJobs(t *testing.T) {
 	defer close(gate)
 	started := make(chan struct{}, 1)
 	algo := registerGatedStub(t, gate, started)
-	s := New(Config{JobWorkers: 1, JobQueue: 4})
+	s, _ := New(Config{JobWorkers: 1, JobQueue: 4})
 	g := graph.Cycle(6)
 
 	running, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 1})

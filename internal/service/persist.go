@@ -1,0 +1,385 @@
+package service
+
+// The disk tier of the serving layer. When Config.DataDir is set, the
+// Service becomes persistent: every stored graph is spilled to a binary
+// CSR snapshot (content-addressed by its graphio.Hash, loaded back through
+// the mmap path on a memory miss) and every computed result is spilled to
+// a JSON record keyed by (graph hash, Params.Key()). Both tiers survive
+// restarts — a rebooted server answers GET /v1/graphs/{hash} and repeated
+// decompositions without re-upload or recomputation.
+//
+// Layout under the data directory:
+//
+//	<dir>/graphs/<graph-hash>.csr            binary CSR snapshot
+//	<dir>/results/<graph-hash>-<params>.json persisted result record
+//
+// where <params> is the lowercase hex of the canonical Params.Key bytes.
+// Every file is written via an adjacent temp file + atomic rename.
+//
+// Corruption policy: a file that fails checksum, decoding, or structural
+// validation is never served. It is quarantined — renamed to
+// "<name>.corrupt" so operators can inspect it — counted in
+// PersistStats.Quarantined, and treated as a miss (the graph is gone, the
+// result recomputes).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"strongdecomp/internal/cluster"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
+)
+
+// persistStore is the disk tier behind the in-memory graph store and
+// result cache. All operations are best-effort and self-contained: a
+// failed save is counted, a corrupt file is quarantined, and the caller
+// proceeds as on a plain miss.
+type persistStore struct {
+	graphDir  string
+	resultDir string
+
+	graphSaves     atomic.Int64
+	graphDiskHits  atomic.Int64
+	resultSaves    atomic.Int64
+	resultDiskHits atomic.Int64
+	quarantined    atomic.Int64
+	saveErrors     atomic.Int64
+}
+
+// newPersistStore creates the data-directory layout.
+func newPersistStore(dir string) (*persistStore, error) {
+	p := &persistStore{
+		graphDir:  filepath.Join(dir, "graphs"),
+		resultDir: filepath.Join(dir, "results"),
+	}
+	for _, d := range []string{p.graphDir, p.resultDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("service: data dir: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// validHash reports whether h is a plausible graphio.Hash (64 lowercase
+// hex characters). Hashes reach the disk tier from request bodies, so
+// anything else must never touch a file path.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// graphPath returns the snapshot path of a graph hash.
+func (p *persistStore) graphPath(hash string) string {
+	return filepath.Join(p.graphDir, hash+".csr")
+}
+
+// resultPath returns the record path of a cache key: the graph hash plus
+// the hex SHA-256 of the canonical Params.Key bytes. Hashing (rather than
+// hex-encoding the key itself) keeps the name fixed-length — algorithm
+// names are caller-chosen and a raw-key name could exceed the filesystem's
+// limit. The full key is stored inside the record and verified on load,
+// so a hash collision can at worst cause a recompute, never a wrong
+// answer.
+func (p *persistStore) resultPath(key cacheKey) string {
+	sum := sha256.Sum256([]byte(key.params))
+	return filepath.Join(p.resultDir, key.hash+"-"+hex.EncodeToString(sum[:])+".json")
+}
+
+// quarantine renames a bad file out of the serving namespace. The rename
+// (not a delete) keeps the evidence for operators; a second quarantine of
+// the same name overwrites the previous evidence, which is fine.
+func (p *persistStore) quarantine(path string) {
+	p.quarantined.Add(1)
+	_ = os.Rename(path, path+".corrupt")
+}
+
+// saveGraph spills g's snapshot if it is not already on disk. Content
+// addressing makes this idempotent: any existing file with this name holds
+// the same graph.
+func (p *persistStore) saveGraph(hash string, g *graph.Graph) {
+	if !validHash(hash) {
+		return
+	}
+	path := p.graphPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return
+	}
+	if err := graphio.SaveCSR(path, g); err != nil {
+		p.saveErrors.Add(1)
+		return
+	}
+	p.graphSaves.Add(1)
+}
+
+// loadGraph opens the spilled snapshot of hash, if present and intact.
+// The snapshot's own checksum proves the bytes are as written (the writer
+// only serializes valid graphs, so the structural pass is skipped), and
+// the content hash is recomputed so a misplaced or stale file can never
+// impersonate another graph. Any failure quarantines the file.
+func (p *persistStore) loadGraph(hash string) (*graph.Graph, bool) {
+	if !validHash(hash) {
+		return nil, false
+	}
+	path := p.graphPath(hash)
+	if _, err := os.Stat(path); err != nil {
+		return nil, false
+	}
+	g, err := graphio.LoadCSRTrusted(path)
+	if err != nil {
+		p.quarantine(path)
+		return nil, false
+	}
+	if graphio.Hash(g) != hash {
+		p.quarantine(path)
+		return nil, false
+	}
+	p.graphDiskHits.Add(1)
+	return g, true
+}
+
+// persistedResult is the on-disk record of one computed result. The
+// schema string gates decoding the way the snapshot version does: bump it
+// on any layout change.
+type persistedResult struct {
+	Schema    string `json:"schema"`
+	GraphHash string `json:"graph_hash"`
+	// ParamsKey is the canonical Params.Key bytes (base64 on the wire via
+	// encoding/json); it must round-trip to the requested key exactly.
+	ParamsKey []byte  `json:"params_key"`
+	Kind      string  `json:"kind"`
+	Algo      string  `json:"algo"`
+	Eps       float64 `json:"eps,omitempty"`
+	Seed      int64   `json:"seed"`
+
+	K       int   `json:"k"`
+	Colors  int   `json:"colors,omitempty"`
+	Assign  []int `json:"assign"`
+	Color   []int `json:"color,omitempty"`
+	Centers []int `json:"centers,omitempty"`
+
+	Trees []persistedTree `json:"trees,omitempty"`
+
+	Rounds    int64 `json:"rounds"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// persistedTree is the on-disk form of a cluster Steiner tree.
+type persistedTree struct {
+	Root   int         `json:"root"`
+	Parent map[int]int `json:"parent"`
+}
+
+// resultSchema versions persistedResult.
+const resultSchema = "strongdecomp/result/v1"
+
+// saveResult spills one computed result record, atomically.
+func (p *persistStore) saveResult(key cacheKey, res *Result) {
+	if !validHash(key.hash) {
+		return
+	}
+	rec := persistedResult{
+		Schema:    resultSchema,
+		GraphHash: res.GraphHash,
+		ParamsKey: []byte(key.params),
+		Kind:      res.Kind,
+		Algo:      res.Algo,
+		Eps:       res.Eps,
+		Seed:      res.Seed,
+		Rounds:    res.Rounds,
+		ElapsedNS: int64(res.Elapsed),
+	}
+	switch {
+	case res.Carving != nil:
+		c := res.Carving
+		rec.K, rec.Assign, rec.Centers = c.K, c.Assign, c.Centers
+		for _, t := range c.Trees {
+			if t == nil {
+				rec.Trees = append(rec.Trees, persistedTree{Root: -1})
+				continue
+			}
+			rec.Trees = append(rec.Trees, persistedTree{Root: t.Root, Parent: t.Parent})
+		}
+	case res.Decomposition != nil:
+		d := res.Decomposition
+		rec.K, rec.Colors, rec.Assign = d.K, d.Colors, d.Assign
+		rec.Color, rec.Centers = d.Color, d.Centers
+	default:
+		return // nothing worth persisting
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		p.saveErrors.Add(1)
+		return
+	}
+	if err := writeFileAtomic(p.resultPath(key), data); err != nil {
+		p.saveErrors.Add(1)
+		return
+	}
+	p.resultSaves.Add(1)
+}
+
+// loadResult reads the spilled record for key, validating it against the
+// resolved graph (n nodes) before it may be served. Undecodable or
+// inconsistent records are quarantined and treated as a miss.
+func (p *persistStore) loadResult(key cacheKey, n int) (*Result, bool) {
+	if !validHash(key.hash) {
+		return nil, false
+	}
+	path := p.resultPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	res, ok := decodeResult(data, key, n)
+	if !ok {
+		p.quarantine(path)
+		return nil, false
+	}
+	p.resultDiskHits.Add(1)
+	return res, true
+}
+
+// decodeResult turns a record's bytes back into a Result, enforcing every
+// consistency rule that makes the record safe to serve: schema and key
+// match, assignment length equals the graph's node count, cluster ids in
+// range, and color metadata shaped like the kind demands.
+func decodeResult(data []byte, key cacheKey, n int) (*Result, bool) {
+	var rec persistedResult
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	if rec.Schema != resultSchema || rec.GraphHash != key.hash || string(rec.ParamsKey) != key.params {
+		return nil, false
+	}
+	if rec.K < 0 || len(rec.Assign) != n {
+		return nil, false
+	}
+	minAssign := cluster.Unclustered // carvings may leave nodes unclustered
+	if rec.Kind == "decompose" {
+		minAssign = 0 // decompositions cover every node
+	}
+	for _, c := range rec.Assign {
+		if c < minAssign || c >= rec.K {
+			return nil, false
+		}
+	}
+	// Centers and trees are node-id metadata; a parseable-but-corrupted
+	// record must not smuggle out-of-range ids into responses.
+	if rec.Centers != nil && len(rec.Centers) != rec.K {
+		return nil, false
+	}
+	for _, c := range rec.Centers {
+		if c < 0 || c >= n {
+			return nil, false
+		}
+	}
+	for _, t := range rec.Trees {
+		if t.Root < -1 || t.Root >= n {
+			return nil, false // Root == -1 marks an absent tree slot
+		}
+		for v, parent := range t.Parent {
+			if v < 0 || v >= n || parent < -1 || parent >= n {
+				return nil, false
+			}
+		}
+	}
+	out := &Result{
+		GraphHash: rec.GraphHash,
+		Kind:      rec.Kind,
+		Algo:      rec.Algo,
+		Eps:       rec.Eps,
+		Seed:      rec.Seed,
+		Rounds:    rec.Rounds,
+		Elapsed:   time.Duration(rec.ElapsedNS),
+	}
+	switch rec.Kind {
+	case "carve":
+		c := &cluster.Carving{K: rec.K, Assign: rec.Assign, Centers: rec.Centers}
+		for _, t := range rec.Trees {
+			if t.Root < 0 {
+				c.Trees = append(c.Trees, nil)
+				continue
+			}
+			c.Trees = append(c.Trees, &cluster.Tree{Root: t.Root, Parent: t.Parent})
+		}
+		out.Carving = c
+	case "decompose":
+		if len(rec.Color) != rec.K {
+			return nil, false
+		}
+		for _, col := range rec.Color {
+			if col < 0 || col >= rec.Colors {
+				return nil, false
+			}
+		}
+		out.Decomposition = &cluster.Decomposition{
+			K: rec.K, Colors: rec.Colors,
+			Assign: rec.Assign, Color: rec.Color, Centers: rec.Centers,
+		}
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
+// writeFileAtomic writes data via an adjacent temp file and a rename, the
+// same crash-safety discipline as graphio.SaveCSR.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".result-tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// PersistStats is the disk-tier block of a Stats snapshot; present only
+// when the service runs with a data directory.
+type PersistStats struct {
+	// GraphSaves / ResultSaves count successful spills over the service
+	// lifetime (not files on disk — earlier runs contribute files too).
+	GraphSaves  int64 `json:"graph_saves"`
+	ResultSaves int64 `json:"result_saves"`
+	// GraphDiskHits / ResultDiskHits count memory misses answered from
+	// disk — after a restart, the entire working set returns this way.
+	GraphDiskHits  int64 `json:"graph_disk_hits"`
+	ResultDiskHits int64 `json:"result_disk_hits"`
+	// Quarantined counts corrupt files renamed aside instead of served.
+	Quarantined int64 `json:"quarantined"`
+	// SaveErrors counts failed spill attempts (disk full, permissions).
+	SaveErrors int64 `json:"save_errors"`
+}
+
+// snapshot captures the counters.
+func (p *persistStore) snapshot() *PersistStats {
+	return &PersistStats{
+		GraphSaves:     p.graphSaves.Load(),
+		ResultSaves:    p.resultSaves.Load(),
+		GraphDiskHits:  p.graphDiskHits.Load(),
+		ResultDiskHits: p.resultDiskHits.Load(),
+		Quarantined:    p.quarantined.Load(),
+		SaveErrors:     p.saveErrors.Load(),
+	}
+}

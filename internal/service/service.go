@@ -85,6 +85,12 @@ type Config struct {
 	// JobTTL is how long a finished job's result is retained for
 	// retrieval before it is purged (default 15 minutes).
 	JobTTL time.Duration
+	// DataDir, when non-empty, makes the service persistent: graphs spill
+	// to binary CSR snapshots and results to JSON records under this
+	// directory, and both tiers are consulted on memory misses — so a
+	// restarted service serves previously uploaded graphs and cached
+	// results without re-upload or recomputation. See persist.go.
+	DataDir string
 }
 
 // Service answers decomposition requests through a cache, an in-flight
@@ -95,14 +101,16 @@ type Service struct {
 	runners *runnerTable
 	cache   *resultCache
 	graphs  *graphStore
+	persist *persistStore // nil when Config.DataDir is empty
 	flight  *flightGroup
 	stats   *statsTable
 	jobs    *jobManager
 	start   time.Time
 }
 
-// New builds a Service from cfg.
-func New(cfg Config) *Service {
+// New builds a Service from cfg. It fails only when Config.DataDir is set
+// and the data-directory layout cannot be created.
+func New(cfg Config) (*Service, error) {
 	if cfg.NewRunner == nil {
 		cfg.NewRunner = func(algo string) (Runner, error) {
 			d, err := registry.Lookup(algo)
@@ -142,8 +150,15 @@ func New(cfg Config) *Service {
 		stats:   newStatsTable(),
 		start:   time.Now(),
 	}
+	if cfg.DataDir != "" {
+		p, err := newPersistStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+	}
 	s.jobs = newJobManager(s, cfg.JobQueue, cfg.JobWorkers, cfg.JobTTL)
-	return s
+	return s, nil
 }
 
 // Close stops the job subsystem: queued jobs are marked canceled, running
@@ -232,16 +247,31 @@ func (s *Service) Carve(ctx context.Context, req *Request) (*Result, error) {
 }
 
 // PutGraph stores g in the graph store and returns its content hash, the
-// identity later by-hash requests use.
+// identity later by-hash requests use. With a data directory configured,
+// the graph is also spilled to a binary CSR snapshot so it survives both
+// LRU eviction and process restarts.
 func (s *Service) PutGraph(g *graph.Graph) string {
 	hash := graphio.Hash(g)
 	s.graphs.put(hash, g)
+	if s.persist != nil {
+		s.persist.saveGraph(hash, g)
+	}
 	return hash
 }
 
-// GetGraph returns the stored graph for a content hash.
+// GetGraph returns the stored graph for a content hash, falling through
+// to the disk tier (mmap snapshot load) on a memory miss.
 func (s *Service) GetGraph(hash string) (*graph.Graph, bool) {
-	return s.graphs.get(hash)
+	if g, ok := s.graphs.get(hash); ok {
+		return g, true
+	}
+	if s.persist != nil {
+		if g, ok := s.persist.loadGraph(hash); ok {
+			s.graphs.put(hash, g)
+			return g, true
+		}
+	}
+	return nil, false
 }
 
 // DefaultAlgorithm returns the algorithm used when requests name none.
@@ -277,6 +307,20 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 		out.CacheHit = true
 		return &out, nil
 	}
+	// Memory miss: with a data directory, a previous run (or a previous
+	// process) may have spilled this exact (graph, Params) result. A disk
+	// hit is re-admitted to the memory tier and served as a cache hit —
+	// this is the path that makes a restarted server answer repeated
+	// requests without recomputation.
+	if s.persist != nil {
+		if res, ok := s.persist.loadResult(key, g.N()); ok {
+			st.cacheHits.Add(1)
+			s.cache.put(key, res)
+			out := *res
+			out.CacheHit = true
+			return &out, nil
+		}
+	}
 	st.cacheMisses.Add(1)
 
 	// The computation itself runs on the flight's detached context (so one
@@ -301,6 +345,9 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 		}
 		st.recordLatency(out.Elapsed)
 		s.cache.put(key, out)
+		if s.persist != nil {
+			s.persist.saveResult(key, out)
+		}
 		return out, nil
 	})
 	if shared {
@@ -351,7 +398,7 @@ func (s *Service) resolveGraph(req *Request) (*graph.Graph, string, error) {
 	case req.Graph != nil:
 		return req.Graph, s.PutGraph(req.Graph), nil
 	case req.Hash != "":
-		g, ok := s.graphs.get(req.Hash)
+		g, ok := s.GetGraph(req.Hash) // memory tier, then disk tier
 		if !ok {
 			return nil, "", fmt.Errorf("%w: %q", ErrUnknownGraph, req.Hash)
 		}

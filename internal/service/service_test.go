@@ -64,7 +64,7 @@ func decomposeKey(g *graph.Graph, algo string, seed int64) cacheKey {
 
 func TestServiceCacheHit(t *testing.T) {
 	algo, count := registerStub(t, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Cycle(12)
 	ctx := context.Background()
 
@@ -120,7 +120,7 @@ func TestServiceCacheHit(t *testing.T) {
 func TestServiceSingleflight(t *testing.T) {
 	gate := make(chan struct{})
 	algo, count := registerStub(t, gate)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Grid(4, 4)
 	key := decomposeKey(g, algo, 7)
 
@@ -177,7 +177,7 @@ func TestServiceSingleflight(t *testing.T) {
 func TestServiceLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
 	gate := make(chan struct{})
 	algo, count := registerStub(t, gate)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Grid(4, 4)
 	key := decomposeKey(g, algo, 11)
 	req := func() *Request { return &Request{Graph: g, Algo: algo, Seed: 11} }
@@ -239,7 +239,7 @@ func TestServiceAbandonedFlightCanceled(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
 	algo, _ := registerStub(t, gate)
-	s := New(Config{})
+	s, _ := New(Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	g := graph.Path(6)
 	done := make(chan error, 1)
@@ -275,7 +275,7 @@ func TestServiceAbandonedFlightCanceled(t *testing.T) {
 func TestServiceFreshFlightAfterAbandon(t *testing.T) {
 	gate := make(chan struct{})
 	algo, count := registerStub(t, gate)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Cycle(8)
 	req := func() *Request { return &Request{Graph: g, Algo: algo, Seed: 2} }
 
@@ -325,7 +325,7 @@ func waitForCondition(t *testing.T, cond func() bool) {
 
 func TestServiceByHash(t *testing.T) {
 	algo, _ := registerStub(t, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Star(9)
 	hash := s.PutGraph(g)
 	if hash != graphio.Hash(g) {
@@ -344,7 +344,7 @@ func TestServiceByHash(t *testing.T) {
 	}
 
 	// Inline requests self-register their graph for later by-hash use.
-	s2 := New(Config{})
+	s2, _ := New(Config{})
 	if _, err := s2.Decompose(context.Background(), &Request{Graph: g, Algo: algo}); err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestServiceByHash(t *testing.T) {
 
 func TestServiceErrors(t *testing.T) {
 	algo, _ := registerStub(t, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Path(4)
 	ctx := context.Background()
 
@@ -435,7 +435,7 @@ func TestServiceErrors(t *testing.T) {
 func TestServiceGraphStoreBudget(t *testing.T) {
 	algo, _ := registerStub(t, nil)
 	// Weights are real CSR bytes: 8*(n+1) offsets + 8*2m targets + 64.
-	s := New(Config{GraphStoreBudget: 1000})
+	s, _ := New(Config{GraphStoreBudget: 1000})
 	small := graph.Path(10) // weight 8*(11+18) + 64 = 296
 	hSmall := s.PutGraph(small)
 	if _, ok := s.GetGraph(hSmall); !ok {
@@ -470,7 +470,7 @@ func TestServiceTimeout(t *testing.T) {
 	gate := make(chan struct{}) // never closed: computations only end by cancellation
 	defer close(gate)
 	algo, _ := registerStub(t, gate)
-	s := New(Config{Timeout: 20 * time.Millisecond})
+	s, _ := New(Config{Timeout: 20 * time.Millisecond})
 	_, err := s.Decompose(context.Background(), &Request{Graph: graph.Path(4), Algo: algo})
 	if !errors.Is(err, registry.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
@@ -482,7 +482,7 @@ func TestServiceTimeout(t *testing.T) {
 
 func TestServiceCacheEviction(t *testing.T) {
 	algo, count := registerStub(t, nil)
-	s := New(Config{CacheSize: 2})
+	s, _ := New(Config{CacheSize: 2})
 	ctx := context.Background()
 	g := graph.Cycle(6)
 	for seed := int64(0); seed < 3; seed++ { // fills and overflows the 2-entry cache
@@ -506,7 +506,7 @@ func TestServiceCacheEviction(t *testing.T) {
 
 func TestServiceCarveKindSeparation(t *testing.T) {
 	algo, _ := registerStub(t, nil)
-	s := New(Config{})
+	s, _ := New(Config{})
 	ctx := context.Background()
 	g := graph.Grid(3, 3)
 	if _, err := s.Decompose(ctx, &Request{Graph: g, Algo: algo}); err != nil {
@@ -526,7 +526,7 @@ func TestServiceCarveKindSeparation(t *testing.T) {
 
 func TestServiceDefaultAlgorithm(t *testing.T) {
 	algo, count := registerStub(t, nil)
-	s := New(Config{DefaultAlgorithm: algo})
+	s, _ := New(Config{DefaultAlgorithm: algo})
 	res, err := s.Decompose(context.Background(), &Request{Graph: graph.Path(5)})
 	if err != nil {
 		t.Fatal(err)
@@ -542,7 +542,7 @@ func TestServiceDefaultAlgorithm(t *testing.T) {
 func TestServiceRequestTimeoutBoundsOnlyCaller(t *testing.T) {
 	gate := make(chan struct{})
 	algo, count := registerStub(t, gate)
-	s := New(Config{})
+	s, _ := New(Config{})
 	g := graph.Grid(4, 4)
 	req := func(d time.Duration) *Request { return &Request{Graph: g, Algo: algo, Seed: 2, Timeout: d} }
 

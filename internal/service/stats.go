@@ -89,6 +89,9 @@ type Stats struct {
 	Jobs          JobStats             `json:"jobs"`
 	Algorithms    map[string]AlgoStats `json:"algorithms"`
 	Runner        map[string]int64     `json:"runner,omitempty"`
+	// Persist is the disk-tier block; nil when the service runs without a
+	// data directory.
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // JobStats is the async-job block of a Stats snapshot.
@@ -152,6 +155,9 @@ func (s *Service) Stats() Stats {
 	}
 	if s.cfg.RunnerStats != nil {
 		out.Runner = s.cfg.RunnerStats()
+	}
+	if s.persist != nil {
+		out.Persist = s.persist.snapshot()
 	}
 	return out
 }

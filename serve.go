@@ -33,6 +33,9 @@ type (
 	ServiceJob = service.Job
 	// ServiceJobState is the lifecycle state of an async job.
 	ServiceJobState = service.JobState
+	// ServicePersistStats is the disk-tier block of a ServiceStats
+	// snapshot (present only with WithServiceDataDir).
+	ServicePersistStats = service.PersistStats
 )
 
 // Typed serving errors.
@@ -60,14 +63,16 @@ func SaveGraph(path string, g *Graph) error { return graphio.Save(path, g) }
 func HashGraph(g *Graph) string { return graphio.Hash(g) }
 
 type serviceConfig struct {
-	workers    int
-	cacheSize  int
-	graphStore int
-	timeout    time.Duration
-	algo       string
-	jobQueue   int
-	jobWorkers int
-	jobTTL     time.Duration
+	workers     int
+	cacheSize   int
+	graphStore  int
+	graphBudget int
+	timeout     time.Duration
+	algo        string
+	jobQueue    int
+	jobWorkers  int
+	jobTTL      time.Duration
+	dataDir     string
 }
 
 // ServiceOption configures NewService.
@@ -121,13 +126,34 @@ func WithServiceJobTTL(d time.Duration) ServiceOption {
 	return func(c *serviceConfig) { c.jobTTL = d }
 }
 
+// WithServiceGraphStoreBudget bounds the total resident bytes of the
+// uploaded-graph store, weighted by each graph's real CSR footprint
+// (default 256 MiB).
+func WithServiceGraphStoreBudget(bytes int) ServiceOption {
+	return func(c *serviceConfig) { c.graphBudget = bytes }
+}
+
+// WithServiceDataDir makes the service persistent: uploaded graphs spill
+// to binary CSR snapshots and computed results to JSON records under dir,
+// both consulted on memory misses. A service restarted on the same
+// directory serves previously uploaded graphs (by content hash) and
+// previously computed results (by cache identity) without re-upload or
+// recomputation; corrupt files are quarantined, never served. NewService
+// fails if the directory layout cannot be created.
+func WithServiceDataDir(dir string) ServiceOption {
+	return func(c *serviceConfig) { c.dataDir = dir }
+}
+
 // NewService builds the serving layer: requests are answered from the
 // content-addressed cache when possible, concurrent identical requests
 // share one computation, and misses execute on a lazily-created Engine per
 // algorithm (each with component-level parallelism over its worker pool).
 // The aggregated engine counters surface in ServiceStats.Runner and the
 // HTTP /metrics endpoint.
-func NewService(opts ...ServiceOption) *Service {
+//
+// NewService fails only when WithServiceDataDir names a directory whose
+// layout cannot be created; a memory-only service never errors.
+func NewService(opts ...ServiceOption) (*Service, error) {
 	var c serviceConfig
 	for _, opt := range opts {
 		opt(&c)
@@ -141,10 +167,12 @@ func NewService(opts ...ServiceOption) *Service {
 		DefaultAlgorithm: c.algo,
 		CacheSize:        c.cacheSize,
 		GraphStoreSize:   c.graphStore,
+		GraphStoreBudget: c.graphBudget,
 		Timeout:          c.timeout,
 		JobQueue:         c.jobQueue,
 		JobWorkers:       c.jobWorkers,
 		JobTTL:           c.jobTTL,
+		DataDir:          c.dataDir,
 		NewRunner: func(algo string) (service.Runner, error) {
 			// Engines resolve names lazily; validate here so unknown
 			// algorithms fail at request time with ErrUnknownAlgorithm

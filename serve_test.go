@@ -17,11 +17,23 @@ import (
 	"strongdecomp/internal/service/httpapi"
 )
 
-// TestServiceFacadeGraphIO covers the facade's graph I/O re-exports.
+// mustService builds a facade service for tests, failing the test on a
+// construction error (only possible with a bad data directory).
+func mustService(t *testing.T, opts ...strongdecomp.ServiceOption) *strongdecomp.Service {
+	t.Helper()
+	svc, err := strongdecomp.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestServiceFacadeGraphIO covers the facade's graph I/O re-exports,
+// including the binary CSR snapshot format.
 func TestServiceFacadeGraphIO(t *testing.T) {
 	g := strongdecomp.TorusGraph(4, 4)
 	dir := t.TempDir()
-	for _, ext := range []string{".el", ".metis", ".json"} {
+	for _, ext := range []string{".el", ".metis", ".json", ".csr"} {
 		path := filepath.Join(dir, "g"+ext)
 		if err := strongdecomp.SaveGraph(path, g); err != nil {
 			t.Fatalf("SaveGraph(%s): %v", ext, err)
@@ -39,7 +51,7 @@ func TestServiceFacadeGraphIO(t *testing.T) {
 // TestServiceHTTPAllAlgorithms pins the acceptance surface: the HTTP API
 // over a real engine-backed service lists every registered construction.
 func TestServiceHTTPAllAlgorithms(t *testing.T) {
-	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	srv := httptest.NewServer(httpapi.New(mustService(t)))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/v1/algorithms")
@@ -71,7 +83,7 @@ func TestServiceHTTPAllAlgorithms(t *testing.T) {
 // (graph, algo, eps, seed) is served from cache, observable both on the
 // response and the /metrics hit counter.
 func TestServiceHTTPRepeatCached(t *testing.T) {
-	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	srv := httptest.NewServer(httpapi.New(mustService(t)))
 	defer srv.Close()
 
 	body := []byte(`{"graph": {"n": 8, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,0]]}, "algo": "chang-ghaffari", "seed": 1}`)
@@ -127,7 +139,7 @@ func TestServiceHTTPRepeatCached(t *testing.T) {
 // the identical deterministic payload, and each is answered by exactly one
 // of: cache hit, in-flight share, or the single leader computation.
 func TestServiceConcurrentIdenticalRequests(t *testing.T) {
-	srv := httptest.NewServer(httpapi.New(strongdecomp.NewService()))
+	srv := httptest.NewServer(httpapi.New(mustService(t)))
 	defer srv.Close()
 
 	body := []byte(`{"graph": {"n": 9, "edges": [[0,1],[0,2],[1,3],[1,4],[2,5],[2,6],[3,7],[3,8]]}, "algo": "chang-ghaffari-improved", "seed": 5}`)
@@ -195,7 +207,7 @@ func TestServiceConcurrentIdenticalRequests(t *testing.T) {
 // TestServiceFacadeTimeoutOption covers the timeout plumbed through the
 // facade options into context cancellation.
 func TestServiceFacadeTimeoutOption(t *testing.T) {
-	svc := strongdecomp.NewService(
+	svc := mustService(t,
 		strongdecomp.WithServiceTimeout(1), // 1ns: every computation times out
 		strongdecomp.WithServiceCacheSize(-1),
 	)
@@ -212,7 +224,7 @@ func TestServiceFacadeTimeoutOption(t *testing.T) {
 // as an NDJSON cluster stream that reconstructs to a verifiable
 // decomposition of the input graph.
 func TestServeV2JobsEndToEnd(t *testing.T) {
-	svc := strongdecomp.NewService()
+	svc := mustService(t)
 	defer svc.Close()
 	srv := httptest.NewServer(httpapi.New(svc))
 	defer srv.Close()
@@ -308,4 +320,45 @@ func graphDocJSON(t *testing.T, g *strongdecomp.Graph) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// TestServiceFacadeDataDir covers the persistence options end-to-end at
+// facade level: a second service on the same data directory serves the
+// first one's graph and result, and a broken directory fails NewService.
+func TestServiceFacadeDataDir(t *testing.T) {
+	dir := t.TempDir()
+	g := strongdecomp.TorusGraph(4, 4)
+
+	svc := mustService(t, strongdecomp.WithServiceDataDir(dir))
+	hash := svc.PutGraph(g)
+	first, err := svc.Decompose(t.Context(), &strongdecomp.ServiceRequest{Hash: hash, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	svc2 := mustService(t, strongdecomp.WithServiceDataDir(dir))
+	defer svc2.Close()
+	if _, ok := svc2.GetGraph(hash); !ok {
+		t.Fatal("restarted facade service lost the graph")
+	}
+	res, err := svc2.Decompose(t.Context(), &strongdecomp.ServiceRequest{Hash: hash, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("restarted facade service recomputed a persisted result")
+	}
+	for v := range first.Decomposition.Assign {
+		if res.Decomposition.Assign[v] != first.Decomposition.Assign[v] {
+			t.Fatalf("node %d: persisted assignment differs", v)
+		}
+	}
+	if st := svc2.Stats(); st.Persist == nil || st.Persist.ResultDiskHits != 1 {
+		t.Fatalf("persist stats: %+v", st.Persist)
+	}
+
+	if _, err := strongdecomp.NewService(strongdecomp.WithServiceDataDir("/dev/null/nope")); err == nil {
+		t.Fatal("NewService accepted an impossible data dir")
+	}
 }

@@ -125,6 +125,9 @@ var algorithmNames = map[Algorithm]string{
 	Sequential:            "sequential",
 }
 
+// String returns the registry name of the algorithm (the same name
+// WithAlgorithmName and the HTTP API accept), or "algorithm(n)" for
+// values outside the enum.
 func (a Algorithm) String() string {
 	if name, ok := algorithmNames[a]; ok {
 		return name
