@@ -5,13 +5,15 @@
 //
 // Endpoints (see internal/service/httpapi):
 //
-//	GET    /healthz              liveness
-//	GET    /metrics              service + engine counters
+//	GET    /healthz              liveness (plus cluster topology when sharded)
+//	GET    /readyz               readiness; 503 while draining or below quorum
+//	GET    /metrics              Prometheus text exposition; ?format=json for JSON
 //	GET    /v1/algorithms        registered constructions
 //	POST   /v1/graphs            upload a graph (?format=edgelist|metis|json|csr)
 //	GET    /v1/graphs/{hash}     stored-graph metadata; ?format= downloads it
 //	POST   /v1/decompose         {"graph": {...} | "hash": "...", "algo": "...", "seed": 1}
 //	POST   /v1/carve             same, plus "eps"
+//	POST   /v1/decompose/batch   {"requests": [...]} — one response per item, in order
 //	POST   /v2/jobs              async submit (adds "kind", "timeout_ms"); 202 + job ID
 //	GET    /v2/jobs/{id}         job state machine snapshot
 //	DELETE /v2/jobs/{id}         cancel by ID
@@ -23,10 +25,17 @@
 // computations without re-upload or recomputation (see docs/API.md and
 // the README "Persistence" section).
 //
+// With -cluster-peers and -shard-id the process joins a sharded serving
+// tier (see internal/shard): a consistent-hash ring routes every graph
+// to an owning shard, any node proxies the full API to the owner, and
+// cache misses consult peers before recomputing. Without the flags the
+// process is a single-node server, bit-identical to earlier releases.
+//
 // Usage:
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
 //	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m] [-data-dir /var/lib/strongdecomp]
+//	      [-shard-id a -cluster-peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080]
 package main
 
 import (
@@ -39,11 +48,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"strongdecomp"
 	"strongdecomp/internal/service/httpapi"
+	"strongdecomp/internal/shard"
 )
 
 func main() {
@@ -65,15 +76,51 @@ func run() error {
 
 		jobQueue   = flag.Int("job-queue", 64, "async job queue bound (full queue answers 429)")
 		jobWorkers = flag.Int("job-workers", 2, "concurrent async jobs")
-		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; also bounds the shutdown job drain")
 
 		dataDir = flag.String("data-dir", "", "persist graphs (binary CSR snapshots) and results under this directory; a restart serves them without re-upload or recomputation")
+
+		shardID      = flag.String("shard-id", "", "this node's ID in -cluster-peers; enables sharded serving")
+		clusterPeers = flag.String("cluster-peers", "", "cluster membership as id=url,id=url,... (must include -shard-id)")
+		vnodes       = flag.Int("cluster-vnodes", 0, "virtual nodes per shard on the hash ring (0: default)")
+		replicas     = flag.Int("cluster-replicas", 1, "ring successors receiving result/graph replicas (0: no replication)")
 	)
 	flag.Parse()
 
 	if _, err := strongdecomp.Lookup(*algo); err != nil {
 		return err
 	}
+	if (*shardID == "") != (*clusterPeers == "") {
+		return fmt.Errorf("-shard-id and -cluster-peers must be set together")
+	}
+
+	// The service needs the cluster's hooks at construction and the
+	// cluster's handler needs the service, so the hooks late-bind
+	// through this pointer: nil until the cluster exists, which is
+	// before the listener starts accepting traffic.
+	var cluster *shard.Cluster
+	hooks := strongdecomp.ServiceClusterHooks{}
+	if *shardID != "" {
+		hooks = strongdecomp.ServiceClusterHooks{
+			PeerLookup: func(ctx context.Context, graphHash, paramsKey string, n int) (*strongdecomp.ServiceResult, bool) {
+				if cluster == nil {
+					return nil, false
+				}
+				return cluster.PeerLookup(ctx, graphHash, paramsKey, n)
+			},
+			OnResultComputed: func(graphHash, paramsKey string, res *strongdecomp.ServiceResult) {
+				if cluster != nil {
+					cluster.ReplicateResult(graphHash, paramsKey, res)
+				}
+			},
+			OnGraphStored: func(graphHash string, g *strongdecomp.Graph) {
+				if cluster != nil {
+					cluster.ReplicateGraph(graphHash, g)
+				}
+			},
+		}
+	}
+
 	svc, err := strongdecomp.NewService(
 		strongdecomp.WithServiceAlgorithm(*algo),
 		strongdecomp.WithServiceWorkers(*workers),
@@ -84,14 +131,58 @@ func run() error {
 		strongdecomp.WithServiceJobWorkers(*jobWorkers),
 		strongdecomp.WithServiceJobTTL(*jobTTL),
 		strongdecomp.WithServiceDataDir(*dataDir),
+		strongdecomp.WithServiceClusterHooks(hooks),
 	)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+
+	// draining gates single-node readiness; clustered readiness also
+	// folds in quorum via cluster.Ready.
+	var draining atomic.Bool
+	readiness := func() error {
+		if draining.Load() {
+			return fmt.Errorf("draining")
+		}
+		return nil
+	}
+	apiOpts := []httpapi.Option{httpapi.WithReadiness(readiness)}
+
+	var handler http.Handler
+	if *shardID != "" {
+		members, err := shard.ParseMembers(*clusterPeers)
+		if err != nil {
+			return err
+		}
+		cluster, err = shard.NewCluster(shard.Config{
+			SelfID:   *shardID,
+			Members:  members,
+			VNodes:   *vnodes,
+			Replicas: *replicas,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		apiOpts = []httpapi.Option{
+			httpapi.WithReadiness(func() error {
+				if err := readiness(); err != nil {
+					return err
+				}
+				return cluster.Ready()
+			}),
+			httpapi.WithHealthDetail(cluster.HealthDetail),
+			httpapi.WithClusterStats(cluster.Stats),
+		}
+		handler = cluster.Handler(svc, httpapi.New(svc, apiOpts...))
+	} else {
+		handler = httpapi.New(svc, apiOpts...)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -100,8 +191,13 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serve: listening on %s (default algorithm %s, cache %d, timeout %s)",
-		*addr, *algo, *cache, *timeout)
+	if *shardID != "" {
+		log.Printf("serve: shard %q listening on %s (%d peers, default algorithm %s)",
+			*shardID, *addr, len(strings.Split(*clusterPeers, ",")), *algo)
+	} else {
+		log.Printf("serve: listening on %s (default algorithm %s, cache %d, timeout %s)",
+			*addr, *algo, *cache, *timeout)
+	}
 
 	select {
 	case err := <-errc:
@@ -109,7 +205,16 @@ func run() error {
 	case <-ctx.Done():
 	}
 
+	// Shutdown ordering: flip readiness first so load balancers stop
+	// routing here, stop accepting and drain in-flight HTTP within the
+	// grace period, then let queued/running async jobs finish (bounded
+	// by the job TTL — the longest a client would wait for one anyway)
+	// before the deferred svc.Close tears down the engines under them.
 	log.Printf("serve: signal received, draining for up to %s", *grace)
+	draining.Store(true)
+	if cluster != nil {
+		cluster.SetDraining(true)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -118,6 +223,11 @@ func run() error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	jctx, jcancel := context.WithTimeout(context.Background(), *jobTTL)
+	if err := svc.DrainJobs(jctx); err != nil {
+		log.Printf("serve: job drain incomplete: %v", err)
+	}
+	jcancel()
 	log.Printf("serve: drained, bye")
 	return nil
 }

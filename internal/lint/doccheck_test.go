@@ -25,6 +25,7 @@ var lintedDirs = []string{
 	"internal/graphio",
 	"internal/service",
 	"internal/service/httpapi",
+	"internal/shard",
 }
 
 // repoRoot walks up from the working directory to the directory holding

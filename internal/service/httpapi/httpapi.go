@@ -1,14 +1,20 @@
 // Package httpapi exposes a service.Service as an HTTP JSON API — the
 // bytes-on-the-wire layer of the decomposition server:
 //
-//	GET    /healthz              liveness probe
-//	GET    /metrics              expvar-style service + backend counters
+//	GET    /healthz              liveness probe (cluster mode adds topology)
+//	GET    /readyz               readiness probe; 503 while draining or
+//	                             when a cluster shard loses peer quorum
+//	GET    /metrics              Prometheus text exposition (default) or
+//	                             the JSON snapshot with ?format=json
 //	GET    /v1/algorithms        the algorithm registry (name, model, bounds)
 //	POST   /v1/graphs            upload a graph, get its content hash
 //	GET    /v1/graphs/{hash}     stored-graph metadata, or the graph
 //	                             itself with ?format=edgelist|metis|json|csr
 //	POST   /v1/decompose         decompose a graph (inline or by hash)
 //	POST   /v1/carve             ball-carve a graph (inline or by hash)
+//	POST   /v1/decompose/batch   execute many compute requests in one call,
+//	                             answers aligned to request order
+//	                             (fanned out across shards in cluster mode)
 //	POST   /v2/jobs              submit an async job; 202 with a job ID
 //	GET    /v2/jobs/{id}         job status (state machine: queued →
 //	                             running → done|failed|canceled)
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"strongdecomp/internal/graphio"
@@ -44,17 +51,56 @@ import (
 // maxBodyBytes bounds request bodies (inline graphs included).
 const maxBodyBytes = 128 << 20
 
+// maxBatchRequests bounds one /v1/decompose/batch body.
+const maxBatchRequests = 1024
+
+// batchConcurrency bounds how many batch items execute at once on top of
+// each runner's own internal parallelism.
+const batchConcurrency = 8
+
+// Option customizes the handler New returns. The zero set of options
+// serves exactly the single-process API; cluster mode (internal/shard)
+// uses options to surface topology in health, readiness, and metrics.
+type Option func(*api)
+
+// WithReadiness installs the readiness probe behind GET /readyz: a nil
+// error means ready (200), a non-nil error is reported with a 503 — the
+// signal a load balancer needs to stop routing to a draining or
+// quorum-less shard. Liveness (GET /healthz) is unaffected.
+func WithReadiness(fn func() error) Option {
+	return func(a *api) { a.ready = fn }
+}
+
+// WithHealthDetail merges extra fields (e.g. shard ID, ring membership,
+// peer liveness) into the GET /healthz response body. Without it the body
+// stays exactly {"status":"ok"}.
+func WithHealthDetail(fn func() map[string]any) Option {
+	return func(a *api) { a.healthDetail = fn }
+}
+
+// WithClusterStats contributes per-shard counters (proxying, fan-out,
+// peer cache, replication) to GET /metrics: as strongdecomp_shard_*
+// series in the Prometheus exposition and under "shard" in the JSON body.
+func WithClusterStats(fn func() map[string]int64) Option {
+	return func(a *api) { a.clusterStats = fn }
+}
+
 // New returns the HTTP handler serving s.
-func New(s *service.Service) http.Handler {
+func New(s *service.Service, opts ...Option) http.Handler {
 	api := &api{svc: s}
+	for _, opt := range opts {
+		opt(api)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", api.healthz)
+	mux.HandleFunc("GET /readyz", api.readyz)
 	mux.HandleFunc("GET /metrics", api.metrics)
 	mux.HandleFunc("GET /v1/algorithms", api.algorithms)
 	mux.HandleFunc("POST /v1/graphs", api.putGraph)
 	mux.HandleFunc("GET /v1/graphs/{hash}", api.getGraph)
 	mux.HandleFunc("POST /v1/decompose", api.compute(false))
 	mux.HandleFunc("POST /v1/carve", api.compute(true))
+	mux.HandleFunc("POST /v1/decompose/batch", api.batch)
 	mux.HandleFunc("POST /v2/jobs", api.submitJob)
 	mux.HandleFunc("GET /v2/jobs/{id}", api.getJob)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", api.cancelJob)
@@ -63,15 +109,71 @@ func New(s *service.Service) http.Handler {
 }
 
 type api struct {
-	svc *service.Service
+	svc          *service.Service
+	ready        func() error
+	healthDetail func() map[string]any
+	clusterStats func() map[string]int64
 }
 
+// healthz is the liveness probe: answering at all is the signal. The body
+// stays {"status":"ok"} unless WithHealthDetail adds topology fields.
 func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]any{"status": "ok"}
+	if a.healthDetail != nil {
+		for k, v := range a.healthDetail() {
+			if k != "status" {
+				body[k] = v
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
+// readyz is the readiness probe, split from liveness: a live process may
+// still be unready (draining before shutdown, or a cluster shard that has
+// lost its peer quorum) and must be drained from load balancing without
+// being killed.
+func (a *api) readyz(w http.ResponseWriter, r *http.Request) {
+	if a.ready != nil {
+		if err := a.ready(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// metrics serves the service counters: Prometheus text exposition format
+// by default, the JSON snapshot with ?format=json (the pre-Prometheus
+// body, kept for compatibility).
 func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, a.svc.Stats())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prometheus":
+		var shard map[string]int64
+		if a.clusterStats != nil {
+			shard = a.clusterStats()
+		}
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, a.svc.Stats(), shard)
+	case "json":
+		body := metricsJSON{Stats: a.svc.Stats()}
+		if a.clusterStats != nil {
+			body.Shard = a.clusterStats()
+		}
+		writeJSON(w, http.StatusOK, body)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metrics format %q (want prometheus or json)", format))
+	}
+}
+
+// metricsJSON is the ?format=json metrics body: the service Stats
+// (embedded, so single-process bodies are byte-identical to the legacy
+// /metrics) plus the per-shard counter block in cluster mode.
+type metricsJSON struct {
+	service.Stats
+	// Shard carries the cluster counters; omitted outside cluster mode.
+	Shard map[string]int64 `json:"shard,omitempty"`
 }
 
 // algorithmInfo is the wire form of a registry entry.
@@ -216,6 +318,10 @@ type computeResponse struct {
 	Rounds    int64   `json:"rounds"`
 	Cached    bool    `json:"cached"`
 	Shared    bool    `json:"shared"`
+	// Peer reports the result was fetched from a cluster peer's cache
+	// rather than recomputed; omitted (never false-y noise) outside
+	// cluster mode, so single-process responses are unchanged.
+	Peer      bool    `json:"peer,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -252,6 +358,7 @@ func resultResponse(res *service.Result) computeResponse {
 		GraphHash: res.GraphHash, Kind: res.Kind, Algo: res.Algo,
 		Seed: res.Seed, Eps: res.Eps,
 		Rounds: res.Rounds, Cached: res.CacheHit, Shared: res.Shared,
+		Peer:      res.PeerHit,
 		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
 	}
 	if res.Carving != nil {
@@ -262,6 +369,80 @@ func resultResponse(res *service.Result) computeResponse {
 		out.Assign, out.Color = res.Decomposition.Assign, res.Decomposition.Color
 	}
 	return out
+}
+
+// batchRequest is the body of POST /v1/decompose/batch: an ordered list
+// of compute requests (each the same shape as a /v2/jobs body, so "kind"
+// selects carve vs decompose per item).
+type batchRequest struct {
+	Requests []computeRequest `json:"requests"`
+}
+
+// batchItemResponse is one slot of a batch response: exactly one of
+// Result and Error is set, at the index of the request it answers.
+type batchItemResponse struct {
+	Result *computeResponse `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// batchResponse answers POST /v1/decompose/batch with results aligned to
+// the request order.
+type batchResponse struct {
+	Results []batchItemResponse `json:"results"`
+}
+
+// batch is POST /v1/decompose/batch: execute every request of the body —
+// concurrently, bounded by batchConcurrency — and answer all of them in
+// one response, per-item errors included. In cluster mode the coordinator
+// splits a batch by owning shard and merges the sub-batches, so this
+// handler also serves each shard's local share of a fanned-out batch.
+func (a *api) batch(w http.ResponseWriter, r *http.Request) {
+	var body batchRequest
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body.Requests) > maxBatchRequests {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch carries %d requests, limit %d", len(body.Requests), maxBatchRequests))
+		return
+	}
+	out := batchResponse{Results: make([]batchItemResponse, len(body.Requests))}
+	sem := make(chan struct{}, batchConcurrency)
+	var wg sync.WaitGroup
+	for i := range body.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out.Results[i] = a.batchItem(r, &body.Requests[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// batchItem executes one slot of a batch through the same service path as
+// the single-request endpoints.
+func (a *api) batchItem(r *http.Request, item *computeRequest) batchItemResponse {
+	req, err := item.serviceRequest()
+	if err != nil {
+		return batchItemResponse{Error: err.Error()}
+	}
+	var res *service.Result
+	switch item.Kind {
+	case "", string(registry.KindDecompose):
+		res, err = a.svc.Decompose(r.Context(), req)
+	case string(registry.KindCarve):
+		res, err = a.svc.Carve(r.Context(), req)
+	default:
+		return batchItemResponse{Error: fmt.Sprintf("unknown kind %q", item.Kind)}
+	}
+	if err != nil {
+		return batchItemResponse{Error: err.Error()}
+	}
+	wire := resultResponse(res)
+	return batchItemResponse{Result: &wire}
 }
 
 // jobResponse is the wire form of a job snapshot.

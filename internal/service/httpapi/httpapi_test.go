@@ -164,7 +164,7 @@ func TestServiceHTTPUploadAndCompute(t *testing.T) {
 	}
 
 	// The hit is observable on /metrics.
-	mresp, err := http.Get(srv.URL + "/metrics")
+	mresp, err := http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

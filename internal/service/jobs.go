@@ -91,10 +91,11 @@ type jobManager struct {
 	svc *Service
 	ttl time.Duration
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	done   []*job // terminal jobs in finish order; TTL purge walks the front
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	done     []*job // terminal jobs in finish order; TTL purge walks the front
+	closed   bool
+	draining bool // drain in progress: reject new submissions, let live ones settle
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -159,7 +160,7 @@ func (m *jobManager) submit(kind registry.Kind, req *Request) (string, error) {
 	}
 
 	m.mu.Lock()
-	if m.closed || m.queue == nil {
+	if m.closed || m.draining || m.queue == nil {
 		m.mu.Unlock()
 		return "", ErrQueueFull
 	}
@@ -284,6 +285,40 @@ func (m *jobManager) purgeLocked(now time.Time) {
 		// entry may already point at a fresh job only if IDs collided,
 		// which newJobID makes effectively impossible.
 		delete(m.jobs, j.id)
+	}
+}
+
+// DrainJobs stops accepting new async submissions (they fail fast with
+// ErrQueueFull, the same backpressure signal a full queue sends) and
+// blocks until every queued or running job has settled into a terminal
+// state, or until ctx expires — whichever comes first. It is the shutdown
+// half-step between "stop taking HTTP traffic" and Close: a SIGTERM
+// arriving mid-job lets the job finish and its queued client collect the
+// result, instead of orphaning it with an abrupt cancel. DrainJobs does
+// not close the service; call Close after it returns.
+func (s *Service) DrainJobs(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+func (m *jobManager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	for {
+		m.mu.Lock()
+		active := 0
+		for _, j := range m.jobs {
+			if j.state == JobQueued || j.state == JobRunning {
+				active++
+			}
+		}
+		m.mu.Unlock()
+		if active == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service: job drain interrupted with %d jobs live: %w", active, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
 	}
 }
 

@@ -298,3 +298,81 @@ func TestServiceCloseSettlesJobs(t *testing.T) {
 		t.Fatalf("submit after close err = %v", err)
 	}
 }
+
+// TestDrainJobs pins the graceful-shutdown contract: DrainJobs waits for
+// queued and running jobs to finish, new submissions are refused while
+// draining, and the drain returns once the last job lands.
+func TestDrainJobs(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 4)
+	algo := registerGatedStub(t, gate, started)
+	s, _ := New(Config{})
+	defer s.Close()
+	g := graph.Cycle(8)
+
+	id, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the job is mid-computation, blocked on the gate
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.DrainJobs(ctx)
+	}()
+
+	// Submissions during the drain are refused with the backpressure
+	// error, exactly like a full queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := s.Submit(registry.KindDecompose, &Request{Graph: g, Algo: algo, Seed: 2})
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit during drain: %v, want ErrQueueFull", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions kept being accepted after DrainJobs began")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v while a job was still running", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate) // let the running job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j, err := s.Job(id)
+	if err != nil || !j.State.Terminal() {
+		t.Fatalf("job after drain: %+v, %v", j, err)
+	}
+}
+
+// TestDrainJobsDeadline: a drain whose jobs never finish gives up with
+// the context's error instead of hanging shutdown forever.
+func TestDrainJobsDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 1)
+	algo := registerGatedStub(t, gate, started)
+	s, _ := New(Config{})
+	defer s.Close()
+
+	if _, err := s.Submit(registry.KindDecompose, &Request{Graph: graph.Cycle(6), Algo: algo}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.DrainJobs(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain past deadline: %v, want DeadlineExceeded", err)
+	}
+}

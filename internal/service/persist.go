@@ -101,11 +101,15 @@ func (p *persistStore) resultPath(key cacheKey) string {
 }
 
 // quarantine renames a bad file out of the serving namespace. The rename
-// (not a delete) keeps the evidence for operators; a second quarantine of
-// the same name overwrites the previous evidence, which is fine.
+// (not a delete) keeps the evidence for operators. Concurrent readers of
+// the same corrupt file race into this path together; the rename is the
+// arbiter — it succeeds for exactly one of them (the others find the
+// source already gone) — so the counter moves once per corrupt file and
+// there is no double-rename error to surface.
 func (p *persistStore) quarantine(path string) {
-	p.quarantined.Add(1)
-	_ = os.Rename(path, path+".corrupt")
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		p.quarantined.Add(1)
+	}
 }
 
 // saveGraph spills g's snapshot if it is not already on disk. Content
@@ -187,11 +191,31 @@ type persistedTree struct {
 // resultSchema versions persistedResult.
 const resultSchema = "strongdecomp/result/v1"
 
-// saveResult spills one computed result record, atomically.
-func (p *persistStore) saveResult(key cacheKey, res *Result) {
-	if !validHash(key.hash) {
-		return
+// EncodeResultRecord serializes a served result into the same
+// schema-gated JSON record the disk tier spills — the wire form cluster
+// peers exchange for replication and peer-cache lookups. paramsKey is the
+// canonical Params.Key bytes. Results carrying neither a carving nor a
+// decomposition cannot be encoded.
+func EncodeResultRecord(graphHash string, paramsKey string, res *Result) ([]byte, error) {
+	rec, ok := buildRecord(cacheKey{hash: graphHash, params: paramsKey}, res)
+	if !ok {
+		return nil, fmt.Errorf("service: result carries no payload to encode")
 	}
+	return json.Marshal(&rec)
+}
+
+// DecodeResultRecord is the inverse of EncodeResultRecord: it decodes and
+// validates a result record against the expected graph hash and params
+// key. n is the resolved graph's node count; a negative n skips the
+// node-count cross-checks (record-internal consistency is still enforced)
+// for callers that admit records for graphs they do not hold locally.
+func DecodeResultRecord(data []byte, graphHash string, paramsKey string, n int) (*Result, bool) {
+	return decodeResult(data, cacheKey{hash: graphHash, params: paramsKey}, n)
+}
+
+// buildRecord assembles the on-disk/on-wire record for a result; ok is
+// false when the result carries no payload worth persisting.
+func buildRecord(key cacheKey, res *Result) (persistedResult, bool) {
 	rec := persistedResult{
 		Schema:    resultSchema,
 		GraphHash: res.GraphHash,
@@ -219,6 +243,18 @@ func (p *persistStore) saveResult(key cacheKey, res *Result) {
 		rec.K, rec.Colors, rec.Assign = d.K, d.Colors, d.Assign
 		rec.Color, rec.Centers = d.Color, d.Centers
 	default:
+		return rec, false
+	}
+	return rec, true
+}
+
+// saveResult spills one computed result record, atomically.
+func (p *persistStore) saveResult(key cacheKey, res *Result) {
+	if !validHash(key.hash) {
+		return
+	}
+	rec, ok := buildRecord(key, res)
+	if !ok {
 		return // nothing worth persisting
 	}
 	data, err := json.Marshal(&rec)
@@ -257,7 +293,10 @@ func (p *persistStore) loadResult(key cacheKey, n int) (*Result, bool) {
 // decodeResult turns a record's bytes back into a Result, enforcing every
 // consistency rule that makes the record safe to serve: schema and key
 // match, assignment length equals the graph's node count, cluster ids in
-// range, and color metadata shaped like the kind demands.
+// range, and color metadata shaped like the kind demands. A negative n
+// means the caller cannot resolve the graph locally (a cluster peer
+// admitting a replica): the record's own assignment length stands in for
+// the node count, so every range check below still holds internally.
 func decodeResult(data []byte, key cacheKey, n int) (*Result, bool) {
 	var rec persistedResult
 	if err := json.Unmarshal(data, &rec); err != nil {
@@ -265,6 +304,9 @@ func decodeResult(data []byte, key cacheKey, n int) (*Result, bool) {
 	}
 	if rec.Schema != resultSchema || rec.GraphHash != key.hash || string(rec.ParamsKey) != key.params {
 		return nil, false
+	}
+	if n < 0 {
+		n = len(rec.Assign)
 	}
 	if rec.K < 0 || len(rec.Assign) != n {
 		return nil, false

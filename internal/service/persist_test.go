@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -379,4 +380,58 @@ func decodeJSON(t *testing.T, rec persistedResult, key cacheKey, n int) (*Result
 		t.Fatal(err)
 	}
 	return decodeResult(data, key, n)
+}
+
+// TestServicePersistQuarantineConcurrentReaders: many readers racing onto
+// the same corrupt snapshot quarantine it exactly once — the rename is
+// the arbiter, losers see a missing file, and no .corrupt.corrupt
+// double-rename artifacts appear. This is the failure mode of a shared
+// data directory behind a concurrent API.
+func TestServicePersistQuarantineConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	algo, _ := registerPersistStub(t)
+	s1 := newPersistentService(t, dir, algo)
+	hash := s1.PutGraph(graph.Grid(6, 6))
+	s1.Close()
+
+	path := filepath.Join(dir, "graphs", hash+".csr")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newPersistentService(t, dir, algo)
+	const readers = 16
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := s2.GetGraph(hash); ok {
+				served.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := served.Load(); got != 0 {
+		t.Fatalf("%d concurrent readers were served a corrupt snapshot", got)
+	}
+	if got := s2.Stats().Persist.Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d under %d concurrent readers, want exactly 1", got, readers)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path + ".corrupt.corrupt"); !os.IsNotExist(err) {
+		t.Fatal("double-quarantine artifact exists")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in serving namespace: %v", err)
+	}
 }

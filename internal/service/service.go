@@ -91,6 +91,35 @@ type Config struct {
 	// restarted service serves previously uploaded graphs and cached
 	// results without re-upload or recomputation. See persist.go.
 	DataDir string
+	// Cluster connects this service to a sharded serving tier. All hooks
+	// are optional; the zero value keeps the service single-process with
+	// behavior identical to pre-cluster builds.
+	Cluster ClusterHooks
+}
+
+// ClusterHooks are the integration points between one Service process and
+// a sharded cluster (see internal/shard). The service stays agnostic of
+// ring topology and wire protocol: it only knows that a result it does not
+// hold may live on a peer (PeerLookup extends the miss path) and that what
+// it computes or stores may be worth replicating (the On* callbacks fire
+// on fresh local work, never on cache hits or admitted peer data, so
+// replication cannot echo around the ring).
+type ClusterHooks struct {
+	// PeerLookup is consulted on a full local miss (memory and disk),
+	// before computing: given the graph hash, the canonical Params.Key
+	// bytes, and the resolved graph's node count it returns a result held
+	// by a peer, or ok == false to fall through to computation. It runs
+	// inside the singleflight, so concurrent identical requests share one
+	// peer fetch.
+	PeerLookup func(ctx context.Context, graphHash string, paramsKey string, n int) (*Result, bool)
+	// OnResultComputed fires after a freshly computed (not cached, not
+	// peer-served) result has been admitted to the local tiers.
+	OnResultComputed func(graphHash string, paramsKey string, res *Result)
+	// OnGraphStored fires after PutGraph admits a graph to the local
+	// tiers. It does not fire for graphs admitted via AdmitGraph, which
+	// is how replicated copies arrive — again to keep replication
+	// one-directional.
+	OnGraphStored func(graphHash string, g *graph.Graph)
 }
 
 // Service answers decomposition requests through a cache, an in-flight
@@ -232,6 +261,9 @@ type Result struct {
 	// Shared reports that the result was computed once by a concurrent
 	// identical request and shared through the in-flight deduplicator.
 	Shared bool
+	// PeerHit reports that the result was fetched from a cluster peer's
+	// cache instead of being recomputed (cluster mode only).
+	PeerHit bool
 }
 
 // Decompose serves a full network decomposition. (Eps is not a
@@ -251,6 +283,18 @@ func (s *Service) Carve(ctx context.Context, req *Request) (*Result, error) {
 // the graph is also spilled to a binary CSR snapshot so it survives both
 // LRU eviction and process restarts.
 func (s *Service) PutGraph(g *graph.Graph) string {
+	hash := s.AdmitGraph(g)
+	if h := s.cfg.Cluster.OnGraphStored; h != nil {
+		h(hash, g)
+	}
+	return hash
+}
+
+// AdmitGraph stores g in the local tiers (memory, and disk when
+// configured) exactly like PutGraph but without firing the cluster's
+// OnGraphStored hook — the admission path for graph replicas arriving
+// from peers, which must not be re-replicated onward.
+func (s *Service) AdmitGraph(g *graph.Graph) string {
 	hash := graphio.Hash(g)
 	s.graphs.put(hash, g)
 	if s.persist != nil {
@@ -276,6 +320,57 @@ func (s *Service) GetGraph(hash string) (*graph.Graph, bool) {
 
 // DefaultAlgorithm returns the algorithm used when requests name none.
 func (s *Service) DefaultAlgorithm() string { return s.cfg.DefaultAlgorithm }
+
+// CachedResult looks a result up in the local tiers only — memory LRU,
+// then (when the graph is locally resolvable, so the record can be
+// validated) the disk tier. It never computes and never asks a peer: this
+// is the lookup a cluster peer performs on another shard's behalf, and it
+// must not recurse into the network. paramsKey is the canonical
+// Params.Key bytes.
+func (s *Service) CachedResult(graphHash string, paramsKey string) (*Result, bool) {
+	key := cacheKey{hash: graphHash, params: paramsKey}
+	if res, ok := s.cache.get(key); ok {
+		return res, true
+	}
+	if s.persist == nil {
+		return nil, false
+	}
+	g, ok := s.GetGraph(graphHash)
+	if !ok {
+		return nil, false
+	}
+	if res, ok := s.persist.loadResult(key, g.N()); ok {
+		s.cache.put(key, res)
+		return res, true
+	}
+	return nil, false
+}
+
+// AdmitResult decodes a peer-encoded result record (EncodeResultRecord)
+// and admits it to the local tiers. When the graph is locally resolvable
+// the record is validated against its node count; otherwise only the
+// record's internal consistency is checked — the caller vouches for the
+// source (cluster-internal replication). Undecodable or inconsistent
+// records are rejected with ErrInvalidRequest.
+func (s *Service) AdmitResult(graphHash string, paramsKey string, data []byte) error {
+	if !validHash(graphHash) {
+		return fmt.Errorf("%w: malformed graph hash %q", ErrInvalidRequest, graphHash)
+	}
+	n := -1
+	if g, ok := s.GetGraph(graphHash); ok {
+		n = g.N()
+	}
+	res, ok := DecodeResultRecord(data, graphHash, paramsKey, n)
+	if !ok {
+		return fmt.Errorf("%w: undecodable or inconsistent result record", ErrInvalidRequest)
+	}
+	key := cacheKey{hash: graphHash, params: paramsKey}
+	s.cache.put(key, res)
+	if s.persist != nil {
+		s.persist.saveResult(key, res)
+	}
+	return nil
+}
 
 // do is the shared request path: canonicalize to Params → resolve graph →
 // cache → singleflight → backend.
@@ -339,6 +434,21 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.Timeout)
 			defer cancel()
 		}
+		// Full local miss. In a cluster the owning peer may hold this
+		// exact result — a network hop instead of a recompute. A peer hit
+		// is admitted to the local tiers like a disk hit would be.
+		if pl := s.cfg.Cluster.PeerLookup; pl != nil {
+			if out, ok := pl(runCtx, hash, key.params, g.N()); ok && out != nil {
+				st.peerHits.Add(1)
+				s.cache.put(key, out)
+				if s.persist != nil {
+					s.persist.saveResult(key, out)
+				}
+				served := *out
+				served.PeerHit = true
+				return &served, nil
+			}
+		}
 		out, err := s.compute(runCtx, runner, g, hash, p)
 		if err != nil {
 			return nil, err
@@ -347,6 +457,9 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 		s.cache.put(key, out)
 		if s.persist != nil {
 			s.persist.saveResult(key, out)
+		}
+		if h := s.cfg.Cluster.OnResultComputed; h != nil {
+			h(hash, key.params, out)
 		}
 		return out, nil
 	})

@@ -14,6 +14,7 @@ type algoStats struct {
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	dedupShared  atomic.Int64
+	peerHits     atomic.Int64
 	computes     atomic.Int64
 	latencyNS    atomic.Int64
 	latencyMaxNS atomic.Int64
@@ -66,6 +67,9 @@ type AlgoStats struct {
 	// DedupShared counts requests answered by joining another request's
 	// in-flight computation instead of starting their own.
 	DedupShared int64 `json:"dedup_shared"`
+	// PeerHits counts misses answered from a cluster peer's cache instead
+	// of a recompute (always 0 outside cluster mode).
+	PeerHits int64 `json:"peer_hits"`
 	// Computes counts completed backend computations (the misses that ran
 	// to success).
 	Computes int64 `json:"computes"`
@@ -84,6 +88,7 @@ type Stats struct {
 	CacheHits     int64                `json:"cache_hits"`
 	CacheMisses   int64                `json:"cache_misses"`
 	DedupShared   int64                `json:"dedup_shared"`
+	PeerHits      int64                `json:"peer_hits"`
 	CachedResults int                  `json:"cached_results"`
 	StoredGraphs  int                  `json:"stored_graphs"`
 	Jobs          JobStats             `json:"jobs"`
@@ -134,6 +139,7 @@ func (s *Service) Stats() Stats {
 			CacheHits:    st.cacheHits.Load(),
 			CacheMisses:  st.cacheMisses.Load(),
 			DedupShared:  st.dedupShared.Load(),
+			PeerHits:     st.peerHits.Load(),
 			Computes:     st.computes.Load(),
 			LatencyTotal: time.Duration(st.latencyNS.Load()),
 			LatencyMax:   time.Duration(st.latencyMaxNS.Load()),
@@ -147,6 +153,7 @@ func (s *Service) Stats() Stats {
 		out.CacheHits += a.CacheHits
 		out.CacheMisses += a.CacheMisses
 		out.DedupShared += a.DedupShared
+		out.PeerHits += a.PeerHits
 	}
 	sub, comp, failed, canc, queued, running, retained := s.jobs.counts()
 	out.Jobs = JobStats{

@@ -1,0 +1,180 @@
+// Package shard is the horizontal-scaling tier of the decomposition
+// service: a consistent-hash ring assigns every graph (by its
+// content-addressed graphio.Hash) to an owning shard, a coordinator
+// proxy accepts the unchanged v1/v2 HTTP API on any node and routes each
+// request to the owner, batches fan out across shards with merged
+// results, and a peer cache protocol makes a decomposition cached on any
+// node a network hop instead of a recompute (local LRU → local disk →
+// owning peer → compute). Fresh computations and stored graphs replicate
+// to the owner's ring successor, so killing one shard leaves its cached
+// results servable by the survivor the ring reassigns them to.
+//
+// The partitioning mirrors the modularity the Chang–Ghaffari
+// decomposition framework (arXiv:2102.09820) exploits algorithmically:
+// work splits into independently-processed units — there clusters of a
+// low-diameter decomposition, here content-addressed graphs — with no
+// cross-unit coordination on the hot path. The distributed-construction
+// view of such cluster topologies goes back to Elkin–Neiman
+// (arXiv:1602.05437); see DESIGN.md "Cluster topology".
+//
+// The package sits strictly above internal/service (which stays
+// cluster-agnostic behind service.ClusterHooks) and below cmd/serve,
+// which enables it with -cluster-peers/-shard-id. Without those flags
+// nothing here runs and the process is bit-identical to a single-node
+// build.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Member is one shard of the cluster: a stable ID (its ring identity)
+// and the base URL peers reach it at.
+type Member struct {
+	// ID is the shard's stable name; ring placement depends only on it.
+	ID string `json:"id"`
+	// URL is the shard's base HTTP URL, e.g. "http://10.0.0.3:8080".
+	URL string `json:"url"`
+}
+
+// DefaultVNodes is the per-member virtual-node count when Config leaves
+// it zero. 64 points per member keeps the max/min load ratio across a
+// handful of shards within a few percent while the whole ring stays a
+// sub-kilobyte sorted slice.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// a member.
+type ringPoint struct {
+	hash     uint64
+	memberID string
+}
+
+// Ring is an immutable consistent-hash ring over the cluster members.
+// Immutability is the concurrency story: lookups are lock-free reads,
+// and liveness is layered on top via the alive predicate of OwnerAmong /
+// Successors rather than by mutating the ring — so every shard computes
+// identical placements from identical membership, dead or alive.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]Member
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (0 means
+// DefaultVNodes). Member IDs must be unique and non-empty.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+		members: make(map[string]Member, len(members)),
+	}
+	for _, m := range members {
+		if m.ID == "" {
+			return nil, fmt.Errorf("shard: member with empty ID (url %q)", m.URL)
+		}
+		if _, dup := r.members[m.ID]; dup {
+			return nil, fmt.Errorf("shard: duplicate member ID %q", m.ID)
+		}
+		r.members[m.ID] = m
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:     ringHash(fmt.Sprintf("%s#%d", m.ID, i)),
+				memberID: m.ID,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.memberID < b.memberID // total order even on (vanishing) hash ties
+	})
+	return r, nil
+}
+
+// ringHash maps a string onto the 64-bit ring: the first 8 bytes of its
+// SHA-256, big-endian. SHA-256 (already the project's content-hash
+// primitive) gives placement quality no sequence of member names can
+// degrade.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the ring membership sorted by ID.
+func (r *Ring) Members() []Member {
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Member resolves a member by ID.
+func (r *Ring) Member(id string) (Member, bool) {
+	m, ok := r.members[id]
+	return m, ok
+}
+
+// VNodes reports the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the first virtual node clockwise
+// from the key's ring position.
+func (r *Ring) Owner(key string) Member {
+	m, _ := r.OwnerAmong(key, nil)
+	return m
+}
+
+// OwnerAmong returns the first member clockwise from key for which alive
+// returns true (nil means every member qualifies). ok is false only when
+// no member qualifies at all — the cluster-down case.
+func (r *Ring) OwnerAmong(key string, alive func(id string) bool) (Member, bool) {
+	members := r.successors(key, 1, alive)
+	if len(members) == 0 {
+		return Member{}, false
+	}
+	return members[0], true
+}
+
+// Successors returns up to k distinct members clockwise from key,
+// filtered by alive (nil admits all). The first entry is the owner, the
+// rest are the replica targets in placement order — the members that
+// inherit the key if the ones before them die.
+func (r *Ring) Successors(key string, k int, alive func(id string) bool) []Member {
+	return r.successors(key, k, alive)
+}
+
+func (r *Ring) successors(key string, k int, alive func(id string) bool) []Member {
+	if k <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []Member
+	seen := make(map[string]bool, k)
+	for i := 0; i < len(r.points) && len(out) < k; i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.memberID] {
+			continue
+		}
+		seen[pt.memberID] = true
+		if alive != nil && !alive(pt.memberID) {
+			continue
+		}
+		out = append(out, r.members[pt.memberID])
+	}
+	return out
+}

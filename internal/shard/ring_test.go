@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testMembers builds n members named shard-0..shard-n-1.
+func testMembers(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("shard-%d", i), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return out
+}
+
+// testKeys returns count distinct routing keys shaped like content hashes.
+func testKeys(count int) []string {
+	keys := make([]string, count)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterminism: two rings built from the same membership — in any
+// order — agree on every placement. This is the property the whole
+// coordinator design rests on: every shard routes identically without
+// coordination.
+func TestRingDeterminism(t *testing.T) {
+	members := testMembers(5)
+	r1, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]Member, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	r2, err := NewRing(reversed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(500) {
+		if a, b := r1.Owner(key), r2.Owner(key); a.ID != b.ID {
+			t.Fatalf("key %s: ring 1 says %s, ring 2 says %s", key[:12], a.ID, b.ID)
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count, no shard of a
+// 5-member ring owns a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testMembers(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(10000)
+	for _, key := range keys {
+		counts[r.Owner(key).ID]++
+	}
+	want := len(keys) / 5
+	for id, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s owns %d of %d keys (fair share %d)", id, got, len(keys), want)
+		}
+	}
+	if len(counts) != 5 {
+		t.Fatalf("only %d of 5 members own keys", len(counts))
+	}
+}
+
+// TestRingMinimalReshuffle: dropping one member moves only the keys it
+// owned — every key owned by a survivor keeps its owner. The consistent-
+// hashing property that makes membership changes cheap.
+func TestRingMinimalReshuffle(t *testing.T) {
+	members := testMembers(5)
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing(members[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := members[4].ID
+	moved := 0
+	keys := testKeys(5000)
+	for _, key := range keys {
+		before, after := full.Owner(key), smaller.Owner(key)
+		if before.ID == dropped {
+			moved++
+			continue
+		}
+		if before.ID != after.ID {
+			t.Fatalf("key %s owned by survivor %s moved to %s", key[:12], before.ID, after.ID)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dropped member owned no keys; balance is broken")
+	}
+}
+
+// TestRingDeadSkip: OwnerAmong with a dead owner resolves to the same
+// successor Successors reports, and liveness filtering agrees with the
+// unfiltered walk.
+func TestRingDeadSkip(t *testing.T) {
+	r, err := NewRing(testMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		order := r.Successors(key, 4, nil)
+		if len(order) != 4 {
+			t.Fatalf("key %s: successor walk found %d of 4 members", key[:12], len(order))
+		}
+		dead := order[0].ID
+		alive := func(id string) bool { return id != dead }
+		got, ok := r.OwnerAmong(key, alive)
+		if !ok {
+			t.Fatalf("key %s: no live owner with one dead member", key[:12])
+		}
+		if got.ID != order[1].ID {
+			t.Fatalf("key %s: dead-skip owner %s, want successor %s", key[:12], got.ID, order[1].ID)
+		}
+	}
+}
+
+// TestRingAllDead: when no member passes the liveness filter, OwnerAmong
+// reports the cluster-down case instead of inventing an owner.
+func TestRingAllDead(t *testing.T) {
+	r, err := NewRing(testMembers(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.OwnerAmong("some-key", func(string) bool { return false }); ok {
+		t.Fatal("OwnerAmong found an owner among zero live members")
+	}
+}
+
+// TestNewRingRejectsBadMembership: empty rings, unnamed members, and
+// duplicate IDs are construction errors.
+func TestNewRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]Member{{URL: "http://x"}}, 0); err == nil {
+		t.Error("member with empty ID accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a", URL: "http://1"}, {ID: "a", URL: "http://2"}}, 0); err == nil {
+		t.Error("duplicate member ID accepted")
+	}
+}
+
+// TestParseMembers covers the -cluster-peers wire syntax.
+func TestParseMembers(t *testing.T) {
+	got, err := ParseMembers("a=http://h1:8080, b=http://h2:8080,c=http://h3:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d members, want 3", len(got))
+	}
+	if got[0].ID != "a" || got[0].URL != "http://h1:8080" {
+		t.Fatalf("first member = %+v", got[0])
+	}
+	if got[2].URL != "http://h3:8080" {
+		t.Fatalf("trailing slash not trimmed: %q", got[2].URL)
+	}
+	for _, bad := range []string{"", "a", "=http://x", "a=", "a=http://1,a=http://2"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

@@ -36,6 +36,11 @@ type (
 	// ServicePersistStats is the disk-tier block of a ServiceStats
 	// snapshot (present only with WithServiceDataDir).
 	ServicePersistStats = service.PersistStats
+	// ServiceClusterHooks connects a Service to a sharded serving tier
+	// (see internal/shard): a peer-cache lookup consulted on cache
+	// misses, and replication callbacks fired on fresh computations and
+	// graph uploads. The zero value keeps the service cluster-agnostic.
+	ServiceClusterHooks = service.ClusterHooks
 )
 
 // Typed serving errors.
@@ -73,6 +78,7 @@ type serviceConfig struct {
 	jobWorkers  int
 	jobTTL      time.Duration
 	dataDir     string
+	cluster     ServiceClusterHooks
 }
 
 // ServiceOption configures NewService.
@@ -144,6 +150,16 @@ func WithServiceDataDir(dir string) ServiceOption {
 	return func(c *serviceConfig) { c.dataDir = dir }
 }
 
+// WithServiceClusterHooks connects the service to a sharded serving
+// tier: hooks.PeerLookup is consulted on result-cache misses before
+// computing, and the replication callbacks fire after fresh
+// computations and graph uploads. cmd/serve sets this when started with
+// -cluster-peers; a single-process service leaves it zero and behaves
+// identically to earlier releases.
+func WithServiceClusterHooks(hooks ServiceClusterHooks) ServiceOption {
+	return func(c *serviceConfig) { c.cluster = hooks }
+}
+
 // NewService builds the serving layer: requests are answered from the
 // content-addressed cache when possible, concurrent identical requests
 // share one computation, and misses execute on a lazily-created Engine per
@@ -173,6 +189,7 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		JobWorkers:       c.jobWorkers,
 		JobTTL:           c.jobTTL,
 		DataDir:          c.dataDir,
+		Cluster:          c.cluster,
 		NewRunner: func(algo string) (service.Runner, error) {
 			// Engines resolve names lazily; validate here so unknown
 			// algorithms fail at request time with ErrUnknownAlgorithm

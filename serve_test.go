@@ -116,7 +116,7 @@ func TestServiceHTTPRepeatCached(t *testing.T) {
 		t.Fatalf("cached payload differs: %+v vs %+v", second, first)
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestServiceConcurrentIdenticalRequests(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
