@@ -35,7 +35,8 @@
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
 //	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m] [-data-dir /var/lib/strongdecomp]
-//	      [-shard-id a -cluster-peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080]
+//	      [-shard-id a -cluster-peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
+//	       -cluster-secret token]
 package main
 
 import (
@@ -80,10 +81,11 @@ func run() error {
 
 		dataDir = flag.String("data-dir", "", "persist graphs (binary CSR snapshots) and results under this directory; a restart serves them without re-upload or recomputation")
 
-		shardID      = flag.String("shard-id", "", "this node's ID in -cluster-peers; enables sharded serving")
-		clusterPeers = flag.String("cluster-peers", "", "cluster membership as id=url,id=url,... (must include -shard-id)")
-		vnodes       = flag.Int("cluster-vnodes", 0, "virtual nodes per shard on the hash ring (0: default)")
-		replicas     = flag.Int("cluster-replicas", 1, "ring successors receiving result/graph replicas (0: no replication)")
+		shardID       = flag.String("shard-id", "", "this node's ID in -cluster-peers; enables sharded serving")
+		clusterPeers  = flag.String("cluster-peers", "", "cluster membership as id=url,id=url,... (must include -shard-id)")
+		vnodes        = flag.Int("cluster-vnodes", 0, "virtual nodes per shard on the hash ring (0: default)")
+		replicas      = flag.Int("cluster-replicas", 1, "ring successors receiving result/graph replicas (0: no replication)")
+		clusterSecret = flag.String("cluster-secret", "", "shared token peers must present on cluster-internal requests (same value on every shard; empty: membership-only peer auth)")
 	)
 	flag.Parse()
 
@@ -160,6 +162,7 @@ func run() error {
 			Members:  members,
 			VNodes:   *vnodes,
 			Replicas: *replicas,
+			Secret:   *clusterSecret,
 		})
 		if err != nil {
 			return err

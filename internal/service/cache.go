@@ -94,6 +94,20 @@ func (c *lru[K, V]) put(key K, val V) {
 	}
 }
 
+// remove drops key from the cache if present.
+func (c *lru[K, V]) remove(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*lruEntry[K, V])
+	c.order.Remove(el)
+	delete(c.items, e.key)
+	c.total -= e.weight
+}
+
 // evictOldest removes the least-recently-used entry; caller holds mu.
 func (c *lru[K, V]) evictOldest() {
 	oldest := c.order.Back()

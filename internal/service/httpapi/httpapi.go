@@ -51,8 +51,13 @@ import (
 // maxBodyBytes bounds request bodies (inline graphs included).
 const maxBodyBytes = 128 << 20
 
-// maxBatchRequests bounds one /v1/decompose/batch body.
-const maxBatchRequests = 1024
+// MaxBatchRequests bounds one /v1/decompose/batch body. Exported so the
+// cluster proxy enforces the identical cap before fanning a batch out
+// across shards.
+const MaxBatchRequests = 1024
+
+// maxBatchRequests is the internal alias the handlers use.
+const maxBatchRequests = MaxBatchRequests
 
 // batchConcurrency bounds how many batch items execute at once on top of
 // each runner's own internal parallelism.

@@ -266,6 +266,23 @@ type Result struct {
 	PeerHit bool
 }
 
+// coversN reports whether the result's assignment covers exactly n
+// nodes. This is the revalidation serve paths apply to memory-cache
+// hits: a record admitted from a peer before its graph was locally
+// resolvable (AdmitResult with an unknown node count) was only checked
+// for internal consistency, and every other range check in decodeResult
+// is relative to the assignment length — so once the graph is known,
+// matching lengths re-establishes the full validation.
+func (r *Result) coversN(n int) bool {
+	switch {
+	case r.Carving != nil:
+		return len(r.Carving.Assign) == n
+	case r.Decomposition != nil:
+		return len(r.Decomposition.Assign) == n
+	}
+	return false
+}
+
 // Decompose serves a full network decomposition. (Eps is not a
 // decomposition parameter; Params.Normalized zeroes it so the cache key
 // stays canonical.)
@@ -330,7 +347,14 @@ func (s *Service) DefaultAlgorithm() string { return s.cfg.DefaultAlgorithm }
 func (s *Service) CachedResult(graphHash string, paramsKey string) (*Result, bool) {
 	key := cacheKey{hash: graphHash, params: paramsKey}
 	if res, ok := s.cache.get(key); ok {
-		return res, true
+		// A record admitted before its graph was locally resolvable
+		// skipped the node-count check; once the graph is here, drop a
+		// copy whose assignment doesn't cover it — falling through to
+		// the (validated) disk tier — instead of serving it.
+		if g, ok := s.GetGraph(graphHash); !ok || res.coversN(g.N()) {
+			return res, true
+		}
+		s.cache.remove(key)
 	}
 	if s.persist == nil {
 		return nil, false
@@ -348,10 +372,13 @@ func (s *Service) CachedResult(graphHash string, paramsKey string) (*Result, boo
 
 // AdmitResult decodes a peer-encoded result record (EncodeResultRecord)
 // and admits it to the local tiers. When the graph is locally resolvable
-// the record is validated against its node count; otherwise only the
-// record's internal consistency is checked — the caller vouches for the
-// source (cluster-internal replication). Undecodable or inconsistent
-// records are rejected with ErrInvalidRequest.
+// the record is validated against its node count and admitted to both
+// memory and disk; otherwise only the record's internal consistency is
+// checked, and the record is admitted to the memory tier only — serve
+// paths re-check it against the graph once one arrives (Result.coversN),
+// and the disk tier holds nothing but fully validated records.
+// Undecodable or inconsistent records are rejected with
+// ErrInvalidRequest.
 func (s *Service) AdmitResult(graphHash string, paramsKey string, data []byte) error {
 	if !validHash(graphHash) {
 		return fmt.Errorf("%w: malformed graph hash %q", ErrInvalidRequest, graphHash)
@@ -366,7 +393,7 @@ func (s *Service) AdmitResult(graphHash string, paramsKey string, data []byte) e
 	}
 	key := cacheKey{hash: graphHash, params: paramsKey}
 	s.cache.put(key, res)
-	if s.persist != nil {
+	if s.persist != nil && n >= 0 {
 		s.persist.saveResult(key, res)
 	}
 	return nil
@@ -396,11 +423,16 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 	}
 
 	key := cacheKey{hash: hash, params: p.Key()}
-	if res, ok := s.cache.get(key); ok {
+	if res, ok := s.cache.get(key); ok && res.coversN(g.N()) {
 		st.cacheHits.Add(1)
 		out := *res
 		out.CacheHit = true
 		return &out, nil
+	} else if ok {
+		// A replica admitted before the graph arrived locally could not
+		// be checked against the node count; now that it can and fails,
+		// evict it and fall through to disk/peer/compute.
+		s.cache.remove(key)
 	}
 	// Memory miss: with a data directory, a previous run (or a previous
 	// process) may have spilled this exact (graph, Params) result. A disk

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -586,5 +588,79 @@ func TestServiceRequestTimeoutBoundsOnlyCaller(t *testing.T) {
 	}
 	if followerRes == nil || followerRes.Decomposition == nil {
 		t.Fatal("patient follower got no result")
+	}
+}
+
+// TestServiceAdmitResultRevalidatedAfterGraphArrives pins the safety
+// contract of blind replica admission: cluster replication can deliver a
+// result record before its graph, so AdmitResult admits it with only
+// internal-consistency checks — but once the graph arrives, every serve
+// path must re-validate against the node count instead of serving an
+// assignment that does not cover the graph, and nothing unvalidated may
+// reach the disk tier.
+func TestServiceAdmitResultRevalidatedAfterGraphArrives(t *testing.T) {
+	algo, count := registerStub(t, nil)
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir, DefaultAlgorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := graph.Cycle(12)
+	hash := graphio.Hash(g)
+	key := decomposeKey(g, algo, 0)
+
+	// A record that is internally consistent but covers 5 nodes, not 12.
+	short := &Result{
+		GraphHash: hash, Kind: "decompose", Algo: algo, Seed: 0,
+		Decomposition: &cluster.Decomposition{Assign: make([]int, 5), Color: []int{0}, K: 1, Colors: 1},
+	}
+	data, err := EncodeResultRecord(hash, key.params, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdmitResult(hash, key.params, data); err != nil {
+		t.Fatalf("internally consistent record rejected: %v", err)
+	}
+
+	// Unvalidated admission must not have been spilled to disk.
+	entries, err := os.ReadDir(filepath.Join(dir, "results"))
+	if err == nil && len(entries) != 0 {
+		t.Fatalf("unvalidated replica record persisted to disk: %v", entries)
+	}
+
+	// The graph arrives (replica push). Serving the key must recompute,
+	// not echo the wrong-length record out of the memory cache.
+	s.AdmitGraph(g)
+	res, err := s.Decompose(context.Background(), &Request{Hash: hash, Algo: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("wrong-length replica served as a cache hit")
+	}
+	if len(res.Decomposition.Assign) != g.N() {
+		t.Fatalf("assign length %d, want %d", len(res.Decomposition.Assign), g.N())
+	}
+	if count.Load() != 1 {
+		t.Fatalf("backend computed %d times, want 1", count.Load())
+	}
+
+	// The peer-serving lookup applies the same re-validation: re-poison
+	// the memory cache, and CachedResult must drop the record, then find
+	// the good spilled copy on disk.
+	if err := s.AdmitResult(hash, key.params, data); err == nil {
+		// With the graph now resolvable the short record is rejected
+		// outright — which is the point; force the stale-cache scenario
+		// by injecting directly.
+		t.Fatal("wrong-length record admitted while the graph is resolvable")
+	}
+	s.cache.put(cacheKey{hash: hash, params: key.params}, short)
+	got, ok := s.CachedResult(hash, key.params)
+	if !ok {
+		t.Fatal("CachedResult missed the validated disk copy")
+	}
+	if len(got.Decomposition.Assign) != g.N() {
+		t.Fatalf("CachedResult served assign length %d, want %d", len(got.Decomposition.Assign), g.N())
 	}
 }

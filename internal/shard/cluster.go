@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/hex"
 	"fmt"
 	"io"
@@ -36,8 +37,15 @@ type Config struct {
 	// (0: 10 seconds).
 	PeerTimeout time.Duration
 	// Replicas is how many ring successors (beyond the owner) receive
-	// copies of freshly computed results and stored graphs (0: 1).
+	// copies of freshly computed results and stored graphs. 0 disables
+	// replication; negative values are treated as 0. cmd/serve supplies
+	// the default (1) through its flag default.
 	Replicas int
+	// Secret, when non-empty, is a shared token every cluster-internal
+	// request must carry (X-Strongdecomp-Cluster-Key); requests with a
+	// missing or mismatched token are rejected. All shards must be
+	// started with the same value.
+	Secret string
 }
 
 // ParseMembers parses the -cluster-peers flag format: a comma-separated
@@ -132,8 +140,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.PeerTimeout == 0 {
 		cfg.PeerTimeout = 10 * time.Second
 	}
-	if cfg.Replicas <= 0 {
-		cfg.Replicas = 1
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
 	}
 	c := &Cluster{
 		self:        self,
@@ -178,6 +186,40 @@ func (c *Cluster) SetDraining(v bool) {
 	c.mu.Lock()
 	c.draining = v
 	c.mu.Unlock()
+}
+
+// setPeerAuth stamps the cluster-internal credentials onto an outgoing
+// peer request: the shard header naming this node, and the shared
+// secret when one is configured. Every request a shard sends to a peer
+// goes through here (forwards, pushes, lookups, probes excepted —
+// /healthz is public).
+func (c *Cluster) setPeerAuth(h http.Header) {
+	h.Set(internalHeader, c.self.ID)
+	if c.cfg.Secret != "" {
+		h.Set(secretHeader, c.cfg.Secret)
+	}
+}
+
+// authorizePeer validates an incoming request's cluster-internal
+// credentials: the shard header must resolve to a ring member, and when
+// a shared secret is configured the secret header must match it. This
+// is what stops an ordinary client from forging the internal header to
+// inject cache records or bypass routing.
+func (c *Cluster) authorizePeer(r *http.Request) error {
+	id := r.Header.Get(internalHeader)
+	if id == "" {
+		return fmt.Errorf("missing %s header", internalHeader)
+	}
+	if _, ok := c.ring.Member(id); !ok {
+		return fmt.Errorf("%s names unknown shard %q", internalHeader, id)
+	}
+	if c.cfg.Secret != "" {
+		got := r.Header.Get(secretHeader)
+		if subtle.ConstantTimeCompare([]byte(got), []byte(c.cfg.Secret)) != 1 {
+			return fmt.Errorf("missing or mismatched %s header", secretHeader)
+		}
+	}
+	return nil
 }
 
 // alive reports whether a member is believed reachable. Self is always
@@ -405,7 +447,7 @@ func (c *Cluster) fetchPeerResult(ctx context.Context, m Member, graphHash, para
 	if err != nil {
 		return nil, false
 	}
-	req.Header.Set(internalHeader, c.self.ID)
+	c.setPeerAuth(req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.markDown(m.ID)
@@ -510,7 +552,7 @@ func (c *Cluster) push(m Member, path, contentType string, data []byte) bool {
 		return false
 	}
 	req.Header.Set("Content-Type", contentType)
-	req.Header.Set(internalHeader, c.self.ID)
+	c.setPeerAuth(req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.markDown(m.ID)

@@ -136,7 +136,9 @@ func newTestCluster(t *testing.T, n int, algo string) []*testShard {
 			t.Fatal(err)
 		}
 		t.Cleanup(svc.Close)
-		c, err := NewCluster(Config{SelfID: sh.member.ID, Members: members, ProbeInterval: -1})
+		// Replicas is explicit: Config honors 0 as "no replication", and
+		// these tests exercise the replication paths.
+		c, err := NewCluster(Config{SelfID: sh.member.ID, Members: members, ProbeInterval: -1, Replicas: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -566,5 +568,133 @@ func TestClusterReadyQuorum(t *testing.T) {
 func TestNewClusterRejectsForeignSelf(t *testing.T) {
 	if _, err := NewCluster(Config{SelfID: "ghost", Members: testMembers(3), ProbeInterval: -1}); err == nil {
 		t.Fatal("self outside the membership accepted")
+	}
+}
+
+// doReq performs an arbitrary request and returns (status, body).
+func doReq(t *testing.T, req *http.Request) (int, []byte) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestClusterInternalAuth pins the peer-authentication contract: the
+// /internal/ surface and the internal-header routing bypass are only
+// reachable with a shard header naming a ring member — a client forging
+// the header (or omitting it on /internal/) is rejected, so it cannot
+// inject cache records, push graphs, or pin its own request placement.
+func TestClusterInternalAuth(t *testing.T) {
+	algo, _ := registerShardStub(t)
+	shards := newTestCluster(t, 3, algo)
+	base := shards[0].srv.URL
+	record := []byte(`{"schema":"strongdecomp/result/v1"}`)
+
+	// /internal/ without the shard header: rejected before any admission.
+	req, _ := http.NewRequest(http.MethodPut, base+"/internal/cache/deadbeef/00", bytes.NewReader(record))
+	if status, body := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("headerless internal PUT: status %d (%s), want 403", status, body)
+	}
+
+	// /internal/ with a header naming a shard outside the ring: rejected.
+	req, _ = http.NewRequest(http.MethodPut, base+"/internal/cache/deadbeef/00", bytes.NewReader(record))
+	req.Header.Set(internalHeader, "mallory")
+	if status, body := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("forged internal PUT: status %d (%s), want 403", status, body)
+	}
+	req, _ = http.NewRequest(http.MethodGet, base+"/internal/ring", nil)
+	req.Header.Set(internalHeader, "mallory")
+	if status, _ := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("forged ring introspection: status %d, want 403", status)
+	}
+
+	// A forged header on a public route must not bypass routing.
+	g := graph.Cycle(9)
+	body, _ := json.Marshal(map[string]any{"graph": graphio.ToDocument(g), "algo": algo})
+	req, _ = http.NewRequest(http.MethodPost, base+"/v1/decompose", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(internalHeader, "mallory")
+	if status, out := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("forged routing bypass: status %d (%s), want 403", status, out)
+	}
+
+	// A genuine member ID still passes (membership-only mode).
+	req, _ = http.NewRequest(http.MethodGet, base+"/internal/ring", nil)
+	req.Header.Set(internalHeader, shards[1].member.ID)
+	if status, out := doReq(t, req); status != http.StatusOK {
+		t.Fatalf("member-authenticated ring introspection: status %d (%s), want 200", status, out)
+	}
+}
+
+// TestClusterSharedSecret: with Config.Secret set, membership alone is
+// not enough — internal requests must also present the token.
+func TestClusterSharedSecret(t *testing.T) {
+	algo, _ := registerShardStub(t)
+	members := testMembers(2)
+	svc, err := service.New(service.Config{DefaultAlgorithm: algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	c, err := NewCluster(Config{SelfID: members[0].ID, Members: members, ProbeInterval: -1, Secret: "sesame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	srv := httptest.NewServer(c.Handler(svc, httpapi.New(svc)))
+	t.Cleanup(srv.Close)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/internal/ring", nil)
+	req.Header.Set(internalHeader, members[1].ID)
+	if status, _ := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("member without secret: status %d, want 403", status)
+	}
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/internal/ring", nil)
+	req.Header.Set(internalHeader, members[1].ID)
+	req.Header.Set(secretHeader, "wrong")
+	if status, _ := doReq(t, req); status != http.StatusForbidden {
+		t.Fatalf("member with wrong secret: status %d, want 403", status)
+	}
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/internal/ring", nil)
+	c.setPeerAuth(req.Header)
+	if status, out := doReq(t, req); status != http.StatusOK {
+		t.Fatalf("member with secret: status %d (%s), want 200", status, out)
+	}
+}
+
+// TestClusterBatchCap: the coordinator enforces the API layer's batch
+// cap before fan-out, matching the single-node 400 instead of splitting
+// an oversized batch into passing sub-batches.
+func TestClusterBatchCap(t *testing.T) {
+	algo, _ := registerShardStub(t)
+	shards := newTestCluster(t, 3, algo)
+	items := make([]map[string]any, httpapi.MaxBatchRequests+1)
+	for i := range items {
+		items[i] = map[string]any{"hash": "deadbeef", "algo": algo}
+	}
+	status, body := postJSON(t, shards[0].srv.URL+"/v1/decompose/batch", map[string]any{"requests": items})
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized batch via coordinator: status %d (%.120s), want 400", status, body)
+	}
+}
+
+// TestClusterReplicasZero: an explicit Replicas of 0 means no
+// replication — no successor is ever targeted.
+func TestClusterReplicasZero(t *testing.T) {
+	members := testMembers(3)
+	c, err := NewCluster(Config{SelfID: members[0].ID, Members: members, ProbeInterval: -1, Replicas: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.replicaTargets("0000000000000000000000000000000000000000000000000000000000000000"); len(got) != 0 {
+		t.Fatalf("Replicas=0 still targets %v", got)
 	}
 }

@@ -19,11 +19,17 @@ import (
 
 	"strongdecomp/internal/graphio"
 	"strongdecomp/internal/service"
+	"strongdecomp/internal/service/httpapi"
 )
 
 // internalHeader marks cluster-internal requests: the receiving shard
-// serves them locally, never proxies onward.
+// serves them locally, never proxies onward. Its value must name a ring
+// member — an unknown value is rejected, not routed (see authorizePeer).
 const internalHeader = "X-Strongdecomp-Shard"
+
+// secretHeader carries the shared cluster secret (Config.Secret) on
+// cluster-internal requests when one is configured.
+const secretHeader = "X-Strongdecomp-Cluster-Key"
 
 // maxProxyBodyBytes bounds request bodies buffered for routing; it
 // matches the API layer's own body cap.
@@ -57,10 +63,10 @@ func (c *Cluster) Handler(svc *service.Service, local http.Handler) http.Handler
 	mux.HandleFunc("GET /v2/jobs/{id}", p.jobByID)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", p.jobByID)
 	mux.HandleFunc("GET /v2/jobs/{id}/result", p.jobByID)
-	mux.HandleFunc("GET /internal/cache/{hash}/{params}", p.internalCacheGet)
-	mux.HandleFunc("PUT /internal/cache/{hash}/{params}", p.internalCachePut)
-	mux.HandleFunc("PUT /internal/graphs/{hash}", p.internalGraphPut)
-	mux.HandleFunc("GET /internal/ring", p.internalRing)
+	mux.HandleFunc("GET /internal/cache/{hash}/{params}", p.requirePeer(p.internalCacheGet))
+	mux.HandleFunc("PUT /internal/cache/{hash}/{params}", p.requirePeer(p.internalCachePut))
+	mux.HandleFunc("PUT /internal/graphs/{hash}", p.requirePeer(p.internalGraphPut))
+	mux.HandleFunc("GET /internal/ring", p.requirePeer(p.internalRing))
 	mux.Handle("/", local) // healthz, readyz, metrics, algorithms: always local
 	p.mux = mux
 	return p
@@ -71,10 +77,37 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.mux.ServeHTTP(w, r)
 }
 
-// isInternal reports whether a request was forwarded by a peer and must
-// not be proxied again.
-func (p *proxy) isInternal(r *http.Request) bool {
-	return r.Header.Get(internalHeader) != ""
+// requirePeer gates a cluster-internal endpoint on peer credentials:
+// the shard header must name a ring member (and carry the shared secret
+// when one is configured), so an ordinary client cannot inject cache
+// records or graph replicas by calling /internal/ directly.
+func (p *proxy) requirePeer(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := p.c.authorizePeer(r); err != nil {
+			writeJSONError(w, http.StatusForbidden, err)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleInternal intercepts requests carrying the internal header before
+// any routing runs. A request forwarded by an authorized peer is pinned
+// to this node (served locally, never proxied onward — two shards with
+// momentarily different liveness views can never bounce a request
+// between them); a request whose header fails peer authorization is
+// rejected outright rather than routed, so a forged header cannot
+// select its own placement. Returns true when the request was consumed.
+func (p *proxy) handleInternal(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get(internalHeader) == "" {
+		return false
+	}
+	if err := p.c.authorizePeer(r); err != nil {
+		writeJSONError(w, http.StatusForbidden, err)
+		return true
+	}
+	p.local.ServeHTTP(w, r)
+	return true
 }
 
 // readBody buffers a routed request's body (routing has to inspect it,
@@ -107,7 +140,7 @@ func (p *proxy) forward(w http.ResponseWriter, r *http.Request, body []byte, m M
 		return err
 	}
 	req.Header = r.Header.Clone()
-	req.Header.Set(internalHeader, p.c.self.ID)
+	p.c.setPeerAuth(req.Header)
 	resp, err := p.c.proxyClient.Do(req)
 	if err != nil {
 		return err
@@ -198,8 +231,7 @@ func routingKey(body []byte) (string, error) {
 
 // compute routes POST /v1/decompose and /v1/carve by graph hash.
 func (p *proxy) compute(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	body, ok := readBody(w, r)
@@ -217,8 +249,7 @@ func (p *proxy) compute(w http.ResponseWriter, r *http.Request) {
 // putGraph routes POST /v1/graphs: the body is parsed once to learn the
 // content hash (the routing key), then relayed verbatim to the owner.
 func (p *proxy) putGraph(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	format := graphio.FormatJSON
@@ -243,8 +274,7 @@ func (p *proxy) putGraph(w http.ResponseWriter, r *http.Request) {
 
 // byHashPath routes GET /v1/graphs/{hash} by its path hash.
 func (p *proxy) byHashPath(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	// Serve locally when this shard holds the graph (replica or cached
@@ -297,8 +327,7 @@ func (t *teeWriter) Flush() {
 // submitJob routes POST /v2/jobs like a compute request, then records
 // which shard accepted the job so polls route directly.
 func (p *proxy) submitJob(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	body, ok := readBody(w, r)
@@ -333,8 +362,7 @@ func (p *proxy) submitJob(w http.ResponseWriter, r *http.Request) {
 // IDs are random (not ring-placed), so routing uses the owner table
 // learned at submission and falls back to asking every live peer.
 func (p *proxy) jobByID(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	id := r.PathValue("id")
@@ -359,7 +387,7 @@ func (p *proxy) jobByID(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		req.Header.Set(internalHeader, p.c.self.ID)
+		p.c.setPeerAuth(req.Header)
 		resp, err := p.c.proxyClient.Do(req)
 		if err != nil {
 			p.c.markDown(m.ID)
@@ -397,8 +425,7 @@ type batchResultsWire struct {
 // owners, and the merged response preserves input order. A dead shard
 // fails only its own items.
 func (p *proxy) batch(w http.ResponseWriter, r *http.Request) {
-	if p.isInternal(r) {
-		p.local.ServeHTTP(w, r)
+	if p.handleInternal(w, r) {
 		return
 	}
 	body, ok := readBody(w, r)
@@ -408,6 +435,12 @@ func (p *proxy) batch(w http.ResponseWriter, r *http.Request) {
 	var wire batchWire
 	if err := json.Unmarshal(body, &wire); err != nil {
 		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	// Enforce the API layer's cap before fan-out: split sub-batches could
+	// otherwise admit an oversized batch that a single node would reject.
+	if len(wire.Requests) > httpapi.MaxBatchRequests {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("batch carries %d requests, limit %d", len(wire.Requests), httpapi.MaxBatchRequests))
 		return
 	}
 
@@ -486,7 +519,7 @@ func (p *proxy) runSubBatch(r *http.Request, m Member, items []json.RawMessage, 
 			return p.errorItems(indices, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set(internalHeader, p.c.self.ID)
+		p.c.setPeerAuth(req.Header)
 		resp, err := p.c.proxyClient.Do(req)
 		if err != nil {
 			p.c.markDown(m.ID)
