@@ -35,8 +35,15 @@
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
 //	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m] [-data-dir /var/lib/strongdecomp]
+//	      [-debug-addr localhost:6060] [-log-level info]
 //	      [-shard-id a -cluster-peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
 //	       -cluster-secret token]
+//
+// Logs are structured JSON (log/slog) on stderr; every request gets a
+// trace (header X-Strongdecomp-Trace) whose spans — route, cache tier,
+// proxy hop, engine stages, compute — share one trace ID across shards.
+// -debug-addr serves net/http/pprof on a separate, private listener.
+// See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -44,8 +51,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +62,7 @@ import (
 	"time"
 
 	"strongdecomp"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/service/httpapi"
 	"strongdecomp/internal/shard"
 )
@@ -81,6 +90,9 @@ func run() error {
 
 		dataDir = flag.String("data-dir", "", "persist graphs (binary CSR snapshots) and results under this directory; a restart serves them without re-upload or recomputation")
 
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty: disabled); keep it off the public address")
+		logLevel  = flag.String("log-level", "info", "minimum slog level for the JSON log stream: debug|info|warn|error (spans emit at info)")
+
 		shardID       = flag.String("shard-id", "", "this node's ID in -cluster-peers; enables sharded serving")
 		clusterPeers  = flag.String("cluster-peers", "", "cluster membership as id=url,id=url,... (must include -shard-id)")
 		vnodes        = flag.Int("cluster-vnodes", 0, "virtual nodes per shard on the hash ring (0: default)")
@@ -95,6 +107,16 @@ func run() error {
 	if (*shardID == "") != (*clusterPeers == "") {
 		return fmt.Errorf("-shard-id and -cluster-peers must be set together")
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	if *shardID != "" {
+		logger = logger.With(slog.String("shard", *shardID))
+	}
+	collector := obs.NewCollector(logger)
 
 	// The service needs the cluster's hooks at construction and the
 	// cluster's handler needs the service, so the hooks late-bind
@@ -149,7 +171,7 @@ func run() error {
 		}
 		return nil
 	}
-	apiOpts := []httpapi.Option{httpapi.WithReadiness(readiness)}
+	apiOpts := []httpapi.Option{httpapi.WithReadiness(readiness), httpapi.WithObs(collector)}
 
 	var handler http.Handler
 	if *shardID != "" {
@@ -177,8 +199,14 @@ func run() error {
 			}),
 			httpapi.WithHealthDetail(cluster.HealthDetail),
 			httpapi.WithClusterStats(cluster.Stats),
+			httpapi.WithObs(collector),
+			httpapi.WithServedBy(*shardID),
 		}
-		handler = cluster.Handler(svc, httpapi.New(svc, apiOpts...))
+		// The collector middleware wraps the proxy too, so forwarded
+		// requests are traced and measured at the coordinator edge; the
+		// inner httpapi wrap passes through (the middleware is idempotent
+		// by context), so nothing double-counts.
+		handler = collector.Middleware(cluster.Handler(svc, httpapi.New(svc, apiOpts...)))
 	} else {
 		handler = httpapi.New(svc, apiOpts...)
 	}
@@ -192,14 +220,32 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = newDebugServer(*debugAddr)
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", slog.String("addr", *debugAddr), slog.Any("error", err))
+			}
+		}()
+		logger.Info("pprof listening", slog.String("addr", *debugAddr))
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	if *shardID != "" {
-		log.Printf("serve: shard %q listening on %s (%d peers, default algorithm %s)",
-			*shardID, *addr, len(strings.Split(*clusterPeers, ",")), *algo)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("peers", len(strings.Split(*clusterPeers, ","))),
+			slog.String("default_algorithm", *algo),
+		)
 	} else {
-		log.Printf("serve: listening on %s (default algorithm %s, cache %d, timeout %s)",
-			*addr, *algo, *cache, *timeout)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.String("default_algorithm", *algo),
+			slog.Int("cache", *cache),
+			slog.Duration("timeout", *timeout),
+		)
 	}
 
 	select {
@@ -213,7 +259,7 @@ func run() error {
 	// grace period, then let queued/running async jobs finish (bounded
 	// by the job TTL — the longest a client would wait for one anyway)
 	// before the deferred svc.Close tears down the engines under them.
-	log.Printf("serve: signal received, draining for up to %s", *grace)
+	logger.Info("signal received, draining", slog.Duration("grace", *grace))
 	draining.Store(true)
 	if cluster != nil {
 		cluster.SetDraining(true)
@@ -226,11 +272,34 @@ func run() error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if debugSrv != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+		_ = debugSrv.Shutdown(dctx) // debug listener; nothing to drain
+		dcancel()
+	}
 	jctx, jcancel := context.WithTimeout(context.Background(), *jobTTL)
 	if err := svc.DrainJobs(jctx); err != nil {
-		log.Printf("serve: job drain incomplete: %v", err)
+		logger.Warn("job drain incomplete", slog.Any("error", err))
 	}
 	jcancel()
-	log.Printf("serve: drained, bye")
+	logger.Info("drained, bye")
 	return nil
+}
+
+// newDebugServer builds the pprof-only server for -debug-addr. The
+// handlers are mounted on a private mux — never the default mux, never
+// the public listener — so profiling stays opt-in and off the serving
+// address.
+func newDebugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 }

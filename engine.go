@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
@@ -135,6 +137,43 @@ func (s EngineStats) Counters() map[string]int64 {
 	}
 }
 
+// stageClock records the engine's phase boundaries (component split,
+// carving rounds, merge) for Outcome.Stages. It exists only when the
+// run's context carries an observability collector: newStageClock
+// returns nil otherwise and every method is nil-safe, so the cost of an
+// un-instrumented run is a single context lookup — no clock reads, no
+// allocation.
+type stageClock struct {
+	last   time.Time
+	stages []registry.StageTiming
+}
+
+// newStageClock starts a clock iff ctx is instrumented (obs.Enabled).
+func newStageClock(ctx context.Context) *stageClock {
+	if !obs.Enabled(ctx) {
+		return nil
+	}
+	return &stageClock{last: time.Now()}
+}
+
+// mark closes the current phase under name and opens the next one.
+func (c *stageClock) mark(name string) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	c.stages = append(c.stages, registry.StageTiming{Name: name, Elapsed: now.Sub(c.last)})
+	c.last = now
+}
+
+// take returns the recorded phases (nil for a nil clock).
+func (c *stageClock) take() []registry.StageTiming {
+	if c == nil {
+		return nil
+	}
+	return c.stages
+}
+
 // Run executes one canonical Params on the engine: the v2 entry point.
 // The Params is normalized and validated (an empty Algorithm means the
 // engine's configured construction), multi-component graphs run their
@@ -154,15 +193,18 @@ func (e *Engine) Run(ctx context.Context, g *Graph, p Params) (*Outcome, error) 
 		meter = rounds.NewMeter()
 	}
 	out := &Outcome{Params: p}
+	// The stage clock exists only on instrumented contexts (see
+	// newStageClock), so Outcome.Stages costs nothing when nobody asked.
+	sc := newStageClock(ctx)
 	switch p.Kind {
 	case KindCarve:
-		c, err := e.carve(ctx, g, p, meter)
+		c, err := e.carve(ctx, g, p, meter, sc)
 		if err != nil {
 			return nil, err
 		}
 		out.Carving = c
 	case KindDecompose:
-		d, err := e.decomposeGraph(ctx, g, p, meter, true)
+		d, err := e.decomposeGraph(ctx, g, p, meter, true, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -171,6 +213,7 @@ func (e *Engine) Run(ctx context.Context, g *Graph, p Params) (*Outcome, error) 
 	if meter != nil {
 		out.Rounds = meter.Rounds()
 	}
+	out.Stages = sc.take()
 	return out, nil
 }
 
@@ -181,15 +224,16 @@ func (e *Engine) Run(ctx context.Context, g *Graph, p Params) (*Outcome, error) 
 func (e *Engine) Carve(ctx context.Context, g *Graph, eps float64, opts *RunOptions) (*Carving, error) {
 	o := opts.Normalized()
 	p := Params{Algorithm: e.algo, Kind: KindCarve, Eps: eps, Seed: o.Seed, Nodes: o.Nodes}
-	return e.carve(ctx, g, p, o.Meter)
+	return e.carve(ctx, g, p, o.Meter, nil)
 }
 
 // carve is the carving core: like decomposeGraph, a multi-component graph
 // (with no Nodes restriction) is carved per component concurrently and
 // merged — each component removes at most an eps fraction of its own
 // nodes, so the merged carving meets the bound too. dst (which may be
-// nil) receives the parallel (max) fold of the per-component costs.
-func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Meter) (*Carving, error) {
+// nil) receives the parallel (max) fold of the per-component costs; sc
+// (which may be nil) receives the phase boundaries.
+func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Meter, sc *stageClock) (*Carving, error) {
 	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
@@ -198,9 +242,12 @@ func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Mete
 	if p.Nodes == nil {
 		comps = e.components(g)
 	}
+	sc.mark("split")
 	if len(comps) <= 1 {
 		e.runs.Add(1)
-		return d.Carve(ctx, g, p.Eps, &RunOptions{Seed: p.Seed, Meter: dst, Nodes: p.Nodes})
+		c, err := d.Carve(ctx, g, p.Eps, &RunOptions{Seed: p.Seed, Meter: dst, Nodes: p.Nodes})
+		sc.mark("carve-rounds")
+		return c, err
 	}
 	e.merges.Add(1)
 
@@ -221,8 +268,11 @@ func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Mete
 	if err != nil {
 		return nil, err
 	}
+	sc.mark("carve-rounds")
 	mergeParallelInto(dst, meters)
-	return cluster.MergeCarvings(g.N(), pieces)
+	c, err := cluster.MergeCarvings(g.N(), pieces)
+	sc.mark("merge")
+	return c, err
 }
 
 // Decompose decomposes g, running its connected components concurrently on
@@ -236,7 +286,7 @@ func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Mete
 func (e *Engine) Decompose(ctx context.Context, g *Graph, opts *RunOptions) (*Decomposition, error) {
 	o := opts.Normalized()
 	p := Params{Algorithm: e.algo, Kind: KindDecompose, Seed: o.Seed}
-	return e.decomposeGraph(ctx, g, p, o.Meter, true)
+	return e.decomposeGraph(ctx, g, p, o.Meter, true, nil)
 }
 
 // DecomposeBatch decomposes every graph of the batch on the worker pool and
@@ -252,7 +302,7 @@ func (e *Engine) DecomposeBatch(ctx context.Context, gs []*Graph, opts *RunOptio
 		m := rounds.NewMeter()
 		// Components of one batch item run sequentially: batch-level
 		// parallelism already saturates the pool.
-		d, err := e.decomposeGraph(ctx, gs[i], p, m, false)
+		d, err := e.decomposeGraph(ctx, gs[i], p, m, false, nil)
 		if err != nil {
 			return fmt.Errorf("graph %d: %w", i, err)
 		}
@@ -284,16 +334,20 @@ func mergeParallelInto(dst *rounds.Meter, meters []*rounds.Meter) {
 
 // decomposeGraph is the decomposition core: it splits g into connected
 // components and runs them in parallel when parallel is set. dst (which
-// may be nil) receives the parallel (max) fold of the per-component costs.
-func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, p Params, dst *rounds.Meter, parallel bool) (*Decomposition, error) {
+// may be nil) receives the parallel (max) fold of the per-component
+// costs; sc (which may be nil) receives the phase boundaries.
+func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, p Params, dst *rounds.Meter, parallel bool, sc *stageClock) (*Decomposition, error) {
 	d, err := Lookup(p.Algorithm)
 	if err != nil {
 		return nil, err
 	}
 	comps := e.components(g)
+	sc.mark("split")
 	if len(comps) <= 1 {
 		e.runs.Add(1)
-		return d.Decompose(ctx, g, &RunOptions{Seed: p.Seed, Meter: dst})
+		dec, err := d.Decompose(ctx, g, &RunOptions{Seed: p.Seed, Meter: dst})
+		sc.mark("carve-rounds")
+		return dec, err
 	}
 	e.merges.Add(1)
 
@@ -323,8 +377,11 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, p Params, dst *ro
 	if err != nil {
 		return nil, err
 	}
+	sc.mark("carve-rounds")
 	mergeParallelInto(dst, meters)
-	return cluster.MergeDecompositions(g.N(), pieces)
+	dec, err := cluster.MergeDecompositions(g.N(), pieces)
+	sc.mark("merge")
+	return dec, err
 }
 
 // runPool executes fn(ctx, 0..n-1) on the engine's worker pool. The first

@@ -23,6 +23,7 @@ var lintedDirs = []string{
 	".",
 	"internal/graph",
 	"internal/graphio",
+	"internal/obs",
 	"internal/service",
 	"internal/service/httpapi",
 	"internal/shard",

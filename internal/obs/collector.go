@@ -1,0 +1,189 @@
+package obs
+
+// The Collector is one process's telemetry sink: the slog logger span
+// records go to, the per-endpoint and per-algorithm latency histograms,
+// and the in-flight request gauge. Its Middleware is the edge of the
+// tracing story — it parses or mints the trace, attaches the state to the
+// request context, and emits the "route" span when the handler returns.
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Collector aggregates one process's observability state. Build one with
+// NewCollector, wrap the process handler with Middleware, and export the
+// histograms from the metrics endpoint. All methods are safe for
+// concurrent use; a nil *Collector is never required — absence is
+// expressed by not attaching one to the context.
+type Collector struct {
+	logger     *slog.Logger
+	endpoints  HistogramVec
+	algorithms HistogramVec
+	inFlight   atomic.Int64
+}
+
+// NewCollector returns a collector emitting span records through logger.
+// A nil logger disables span emission but keeps histograms live.
+func NewCollector(logger *slog.Logger) *Collector {
+	return &Collector{logger: logger}
+}
+
+// Logger returns the collector's span logger (nil when spans are off).
+func (c *Collector) Logger() *slog.Logger { return c.logger }
+
+// Endpoints returns the per-endpoint request-latency histograms.
+func (c *Collector) Endpoints() *HistogramVec { return &c.endpoints }
+
+// Algorithms returns the per-algorithm compute-latency histograms.
+func (c *Collector) Algorithms() *HistogramVec { return &c.algorithms }
+
+// InFlight returns the number of requests currently inside Middleware.
+func (c *Collector) InFlight() int64 { return c.inFlight.Load() }
+
+// Middleware wraps next with the per-request observability edge: it
+// parses the inbound TraceHeader (or mints a root trace), attaches the
+// trace and collector to the request context, echoes the trace back in
+// the response headers, counts the request in the in-flight gauge, and —
+// when the handler returns — records the latency into the per-endpoint
+// histogram and emits the "route" span.
+//
+// The middleware is idempotent by context: a request whose context
+// already carries observability state (a handler composed inside an
+// already-wrapped outer handler) passes straight through, so the cluster
+// proxy and the local API handler can both be wrapped without double
+// counting or re-rooting the trace.
+func (c *Collector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if Enabled(r.Context()) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		tr, ok := ParseTrace(r.Header.Get(TraceHeader))
+		if !ok {
+			tr = NewTrace()
+		}
+		ctx := WithRequest(r.Context(), c, tr)
+		w.Header().Set(TraceHeader, tr.String())
+		sw := &statusWriter{ResponseWriter: w}
+		r2 := r.WithContext(ctx)
+		c.inFlight.Add(1)
+		next.ServeHTTP(sw, r2)
+		c.inFlight.Add(-1)
+		d := time.Since(start)
+		ep := endpointLabel(r2)
+		c.endpoints.Observe(ep, d)
+		Span(ctx, "route", start,
+			slog.String("endpoint", ep),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status()),
+		)
+	})
+}
+
+// endpointLabel resolves a request to a bounded-cardinality endpoint
+// label. After the handler ran, r.Pattern holds the ServeMux pattern that
+// matched (the mux sets it on the request in place); requests that never
+// reached a pattern fall back to a fixed normalization of known paths, so
+// a path-scanning client cannot mint unbounded label values.
+func endpointLabel(r *http.Request) string {
+	if p := r.Pattern; p != "" && p != "/" {
+		return p
+	}
+	path := r.URL.Path
+	switch path {
+	case "/healthz", "/readyz", "/metrics",
+		"/v1/algorithms", "/v1/graphs", "/v1/decompose", "/v1/carve",
+		"/v1/decompose/batch", "/v2/jobs":
+		return r.Method + " " + path
+	}
+	switch {
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		return r.Method + " /v1/graphs/{hash}"
+	case strings.HasPrefix(path, "/v2/jobs/") && strings.HasSuffix(path, "/result"):
+		return r.Method + " /v2/jobs/{id}/result"
+	case strings.HasPrefix(path, "/v2/jobs/"):
+		return r.Method + " /v2/jobs/{id}"
+	case strings.HasPrefix(path, "/internal/"):
+		return r.Method + " /internal"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return r.Method + " /debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter records the response status while relaying everything,
+// flushes included, so streaming responses keep streaming through the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before relaying it.
+func (s *statusWriter) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Write defaults the status to 200 like net/http does.
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// Flush forwards flushes so NDJSON result streams flow incrementally.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// status returns the recorded status, defaulting to 200 for handlers
+// that wrote a body without an explicit status line.
+func (s *statusWriter) status() int {
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
+}
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime gauges the
+// metrics endpoint exports.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int
+	// HeapAllocBytes is the heap memory currently allocated and reachable.
+	HeapAllocBytes uint64
+	// HeapSysBytes is the heap memory obtained from the OS.
+	HeapSysBytes uint64
+	// GCCycles counts completed garbage-collection cycles.
+	GCCycles uint32
+	// GCPauseTotal is the cumulative stop-the-world pause time.
+	GCPauseTotal time.Duration
+}
+
+// ReadRuntime snapshots the Go runtime gauges. It calls
+// runtime.ReadMemStats, which briefly stops the world — fine at scrape
+// frequency, not something to put on a request path.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCCycles:       ms.NumGC,
+		GCPauseTotal:   time.Duration(ms.PauseTotalNs),
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+// Log-bucketed latency histograms: fixed power-of-two buckets indexed by
+// the bit length of the observation in nanoseconds, counted with atomics.
+// Observe is lock-free and allocation-free — the hot-path property that
+// lets every request be measured — and Snapshot/Quantile do the (cheap)
+// reading-side work only when someone scrapes or reports.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers every possible observation: bucket i holds durations
+// whose nanosecond count has bit length i, i.e. values in [2^(i-1), 2^i),
+// and bits.Len64 of a non-negative int64 is at most 63.
+const numBuckets = 64
+
+// The Prometheus exposition exports a fixed window of the power-of-two
+// bounds so the series count stays bounded (27 buckets + +Inf per label):
+// everything at or below 2^10 ns (~1 µs) folds into the first bound and
+// everything above 2^36 ns (~68.7 s) lands in +Inf.
+const (
+	minBucketExp = 10
+	maxBucketExp = 36
+)
+
+// Histogram is a fixed-layout log₂-bucketed latency histogram. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe folds one duration into the histogram: two atomic adds and one
+// atomic increment, no locks, no allocations.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Counters are
+// read individually, so a snapshot taken under concurrent writes may be
+// off by in-flight observations — never torn within one counter.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNS.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram: total count, total
+// sum, and the raw (non-cumulative) per-bucket counts.
+type Snapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Sum is the total of all observations.
+	Sum time.Duration
+	// Buckets holds the raw count per log₂ bucket: Buckets[i] counts
+	// observations whose nanosecond value has bit length i.
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the average observation (0 when empty).
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile observation: the
+// upper edge of the bucket the quantile falls in. q is clamped to [0, 1];
+// an empty snapshot reports 0.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// BucketBounds returns the exposition window's upper bounds in seconds,
+// ascending, excluding +Inf — the `le` label values every exported
+// histogram family shares.
+func BucketBounds() []float64 {
+	out := make([]float64, 0, maxBucketExp-minBucketExp+1)
+	for e := minBucketExp; e <= maxBucketExp; e++ {
+		out = append(out, float64(uint64(1)<<uint(e))/1e9)
+	}
+	return out
+}
+
+// CumulativeBuckets folds the raw buckets into cumulative counts aligned
+// with BucketBounds. The +Inf bucket is Count, by definition of
+// cumulative histograms, and is not included here.
+func (s Snapshot) CumulativeBuckets() []uint64 {
+	out := make([]uint64, maxBucketExp-minBucketExp+1)
+	var cum uint64
+	for i := 0; i <= maxBucketExp; i++ {
+		cum += s.Buckets[i]
+		if i >= minBucketExp {
+			out[i-minBucketExp] = cum
+		}
+	}
+	return out
+}
+
+// HistogramVec is a set of Histograms keyed by one label value (endpoint,
+// algorithm). The read path — observing under an existing label — takes a
+// shared lock and allocates nothing; creating a label is the only write.
+type HistogramVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// Get returns the histogram for label, creating it on first use.
+func (v *HistogramVec) Get(label string) *Histogram {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.m == nil {
+		v.m = make(map[string]*Histogram)
+	}
+	if h := v.m[label]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	v.m[label] = h
+	return h
+}
+
+// Observe folds one duration into the label's histogram.
+func (v *HistogramVec) Observe(label string, d time.Duration) {
+	v.Get(label).Observe(d)
+}
+
+// Snapshots returns a point-in-time copy of every label's histogram.
+func (v *HistogramVec) Snapshots() map[string]Snapshot {
+	v.mu.RLock()
+	hs := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		hs[k] = h
+	}
+	v.mu.RUnlock()
+	out := make(map[string]Snapshot, len(hs))
+	for k, h := range hs {
+		out[k] = h.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	if !tr.Valid() || tr.Hop != 0 {
+		t.Fatalf("NewTrace() = %+v, want valid hop-0 trace", tr)
+	}
+	got, ok := ParseTrace(tr.String())
+	if !ok || got != tr {
+		t.Fatalf("ParseTrace(%q) = %+v, %v; want %+v", tr.String(), got, ok, tr)
+	}
+	child := tr.Child()
+	if child.TraceID != tr.TraceID {
+		t.Errorf("Child changed trace ID: %q -> %q", tr.TraceID, child.TraceID)
+	}
+	if child.SpanID == tr.SpanID {
+		t.Error("Child kept the parent span ID")
+	}
+	if child.Hop != tr.Hop+1 {
+		t.Errorf("Child hop = %d, want %d", child.Hop, tr.Hop+1)
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	for _, v := range []string{
+		"", "abc", "a:b", "a:b:c:d", "a:b:-1", "a:b:9999",
+		"a b:c:0", `a":c:0`, strings.Repeat("x", 65) + ":b:0",
+	} {
+		if _, ok := ParseTrace(v); ok {
+			t.Errorf("ParseTrace(%q) accepted, want rejected", v)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Sum != 100*time.Millisecond {
+		t.Fatalf("Sum = %v, want 100ms", s.Sum)
+	}
+	if s.Mean() != time.Millisecond {
+		t.Fatalf("Mean = %v, want 1ms", s.Mean())
+	}
+	// 1ms lands in the bucket [2^19, 2^20) ns; the quantile reports the
+	// bucket's upper edge, so it must bound the observation from above
+	// within one power of two.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < time.Millisecond || got > 2*time.Millisecond+time.Millisecond/10 {
+			t.Errorf("Quantile(%g) = %v, want within [1ms, ~2.1ms]", q, got)
+		}
+	}
+	if (Snapshot{}).Quantile(0.99) != 0 {
+		t.Error("empty snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramSpread(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)       // fast
+	h.Observe(100 * time.Millisecond) // slow
+	s := h.Snapshot()
+	if p0 := s.Quantile(0.25); p0 > 2*time.Microsecond+time.Microsecond/2 {
+		t.Errorf("low quantile = %v, want ~µs scale", p0)
+	}
+	if p1 := s.Quantile(1); p1 < 100*time.Millisecond {
+		t.Errorf("max quantile = %v, want >= 100ms", p1)
+	}
+}
+
+func TestHistogramCumulativeExport(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                // below the exported window
+	h.Observe(time.Millisecond) // inside it
+	h.Observe(10 * time.Minute) // above it: +Inf only
+	h.Observe(-time.Second)     // clamped to 0
+	bounds, cum := BucketBounds(), h.Snapshot().CumulativeBuckets()
+	if len(bounds) != len(cum) {
+		t.Fatalf("len(bounds) = %d, len(cum) = %d", len(bounds), len(cum))
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative buckets not monotonic at %d: %v", i, cum)
+		}
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, bounds)
+		}
+	}
+	if cum[0] != 2 { // the two ~0 observations fold into the first bound
+		t.Errorf("first bound count = %d, want 2", cum[0])
+	}
+	if last := cum[len(cum)-1]; last != 3 { // 10min exceeds the window
+		t.Errorf("last bound count = %d, want 3 (10min lands only in +Inf)", last)
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	var v HistogramVec
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := []string{"a", "b"}[w%2]
+			for i := 0; i < per; i++ {
+				v.Observe(label, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snaps := v.Snapshots()
+	if got := snaps["a"].Count + snaps["b"].Count; got != workers*per {
+		t.Fatalf("total observations = %d, want %d", got, workers*per)
+	}
+}
+
+// spanLog collects the middleware's slog JSON lines for assertions.
+type spanLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *spanLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *spanLog) records(t *testing.T) []map[string]any {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(l.buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("undecodable slog line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestMiddlewareTraceAndSpans(t *testing.T) {
+	log := &spanLog{}
+	c := NewCollector(slog.New(slog.NewJSONHandler(log, nil)))
+	var sawTrace Trace
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace, _ = TraceFrom(r.Context())
+		Span(r.Context(), "inner", time.Now())
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	inbound := NewTrace().Child() // hop 1, as if forwarded
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set(TraceHeader, inbound.String())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if sawTrace != inbound {
+		t.Fatalf("handler saw trace %+v, want inbound %+v", sawTrace, inbound)
+	}
+	if got := rec.Header().Get(TraceHeader); got != inbound.String() {
+		t.Errorf("response trace header = %q, want %q", got, inbound.String())
+	}
+	recs := log.records(t)
+	if len(recs) != 2 {
+		t.Fatalf("got %d span records, want 2 (inner + route)", len(recs))
+	}
+	for _, r := range recs {
+		if r["trace_id"] != inbound.TraceID {
+			t.Errorf("span trace_id = %v, want %v", r["trace_id"], inbound.TraceID)
+		}
+		if r["hop"] != float64(1) {
+			t.Errorf("span hop = %v, want 1", r["hop"])
+		}
+	}
+	route := recs[1]
+	if route["stage"] != "route" || route["status"] != float64(http.StatusTeapot) {
+		t.Errorf("route span = %v, want stage=route status=418", route)
+	}
+	if snaps := c.Endpoints().Snapshots(); snaps["GET /healthz"].Count != 1 {
+		t.Errorf("endpoint histogram = %v, want one GET /healthz observation", snaps)
+	}
+}
+
+func TestMiddlewareIdempotentComposition(t *testing.T) {
+	c := NewCollector(nil)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	h := c.Middleware(c.Middleware(inner)) // proxy + local API both wrapped
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if got := c.Endpoints().Snapshots()["GET /metrics"].Count; got != 1 {
+		t.Fatalf("double-wrapped middleware recorded %d observations, want 1", got)
+	}
+}
+
+func TestInjectTraceAndTransfer(t *testing.T) {
+	c := NewCollector(nil)
+	tr := NewTrace()
+	ctx := WithRequest(context.Background(), c, tr)
+
+	h := make(http.Header)
+	InjectTrace(ctx, h)
+	child, ok := ParseTrace(h.Get(TraceHeader))
+	if !ok || child.TraceID != tr.TraceID || child.Hop != 1 {
+		t.Fatalf("injected header = %+v, %v; want child of %+v", child, ok, tr)
+	}
+
+	detached := context.WithoutCancel(ctx) // values survive WithoutCancel...
+	fresh := Transfer(context.Background(), ctx)
+	for _, c2 := range []context.Context{detached, fresh} {
+		if got, ok := TraceFrom(c2); !ok || got != tr {
+			t.Errorf("trace lost across transfer: %+v, %v", got, ok)
+		}
+	}
+	InjectTrace(context.Background(), h) // no state: must not touch h
+	if got, _ := ParseTrace(h.Get(TraceHeader)); got != child {
+		t.Error("InjectTrace without state rewrote the header")
+	}
+	if Enabled(context.Background()) {
+		t.Error("Enabled(background) = true")
+	}
+}

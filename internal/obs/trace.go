@@ -1,0 +1,210 @@
+// Package obs is the observability substrate of the serving stack:
+// request traces that survive shard hops, structured span records emitted
+// as log/slog JSON lines, lock-free log-bucketed latency histograms, and
+// the HTTP middleware that ties them to a request's context.Context.
+//
+// The package is deliberately passive: nothing here starts goroutines or
+// owns configuration. A process builds one Collector, wraps its handler
+// with Collector.Middleware, and every layer below (proxy, service,
+// engine) observes through the context — when no collector is attached,
+// every entry point is a cheap no-op, so library callers pay nothing.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying the trace context across shard
+// hops (proxy forwards, peer-cache lookups), alongside the cluster's
+// X-Strongdecomp-Shard auth header. Wire form: "traceID:spanID:hop".
+const TraceHeader = "X-Strongdecomp-Trace"
+
+// maxHops bounds the hop counter a parsed header may carry; anything
+// larger is treated as garbage, not trusted input.
+const maxHops = 64
+
+// Trace identifies one request's journey through the cluster: a TraceID
+// shared by every span the request produces on every shard, a SpanID
+// fresh per hop, and the hop count (0 at the edge, +1 per forward).
+type Trace struct {
+	// TraceID is shared by all spans of one request, across shards.
+	TraceID string
+	// SpanID is unique to this hop of the request.
+	SpanID string
+	// Hop counts forwards: 0 where the request entered the cluster.
+	Hop int
+}
+
+// NewTrace mints a fresh root trace (hop 0) with random IDs.
+func NewTrace() Trace {
+	return Trace{TraceID: randHex(16), SpanID: randHex(8)}
+}
+
+// Valid reports whether t carries usable IDs.
+func (t Trace) Valid() bool { return t.TraceID != "" && t.SpanID != "" }
+
+// Child returns the trace context for the next hop: same TraceID, a
+// fresh SpanID, and the hop counter incremented.
+func (t Trace) Child() Trace {
+	return Trace{TraceID: t.TraceID, SpanID: randHex(8), Hop: t.Hop + 1}
+}
+
+// String renders the header wire form "traceID:spanID:hop".
+func (t Trace) String() string {
+	return t.TraceID + ":" + t.SpanID + ":" + strconv.Itoa(t.Hop)
+}
+
+// ParseTrace parses the header wire form. It accepts foreign trace IDs
+// (clients may mint their own) but rejects anything that is not plain
+// [0-9a-zA-Z_-] tokens of sane length, so a hostile header can neither
+// grow logs without bound nor smuggle structure into them.
+func ParseTrace(v string) (Trace, bool) {
+	if v == "" {
+		return Trace{}, false
+	}
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 || !validToken(parts[0]) || !validToken(parts[1]) {
+		return Trace{}, false
+	}
+	hop, err := strconv.Atoi(parts[2])
+	if err != nil || hop < 0 || hop > maxHops {
+		return Trace{}, false
+	}
+	return Trace{TraceID: parts[0], SpanID: parts[1], Hop: hop}, true
+}
+
+// validToken bounds a trace/span ID to 1..64 chars of [0-9a-zA-Z_-].
+func validToken(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns n random bytes hex-encoded (2n characters).
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// tracing degraded-but-alive instead of panicking the serving path.
+		return strings.Repeat("0", 2*n)
+	}
+	return hex.EncodeToString(b)
+}
+
+// ctxKey keys the per-request observability state in a context.Context.
+type ctxKey struct{}
+
+// state is the per-request observability context: the trace identity and
+// the process collector spans and measurements flow into.
+type state struct {
+	trace Trace
+	col   *Collector
+}
+
+// WithRequest attaches a collector and trace to ctx — what the HTTP
+// middleware does once per request at the edge.
+func WithRequest(ctx context.Context, c *Collector, t Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, &state{trace: t, col: c})
+}
+
+// stateFrom extracts the request state, or nil when observability is not
+// attached (library callers, tests, background work).
+func stateFrom(ctx context.Context) *state {
+	s, _ := ctx.Value(ctxKey{}).(*state)
+	return s
+}
+
+// Enabled reports whether ctx carries an observability state. Layers
+// with otherwise-measurable bookkeeping (engine stage clocks) gate on
+// this so un-instrumented callers pay one context lookup and nothing
+// else.
+func Enabled(ctx context.Context) bool { return stateFrom(ctx) != nil }
+
+// TraceFrom returns the trace attached to ctx, if any.
+func TraceFrom(ctx context.Context) (Trace, bool) {
+	if s := stateFrom(ctx); s != nil && s.trace.Valid() {
+		return s.trace, true
+	}
+	return Trace{}, false
+}
+
+// CollectorFrom returns the collector attached to ctx, or nil.
+func CollectorFrom(ctx context.Context) *Collector {
+	if s := stateFrom(ctx); s != nil {
+		return s.col
+	}
+	return nil
+}
+
+// Transfer copies the observability state of src onto dst. It exists for
+// computations that deliberately detach from the caller's cancellation
+// (the service's singleflight runs on context.WithoutCancel) but must
+// keep emitting spans under the caller's trace. A dst that already
+// carries state is returned unchanged.
+func Transfer(dst, src context.Context) context.Context {
+	if s := stateFrom(src); s != nil && stateFrom(dst) == nil {
+		return context.WithValue(dst, ctxKey{}, s)
+	}
+	return dst
+}
+
+// InjectTrace stamps the next hop's trace context onto an outbound
+// request's headers: same trace ID, fresh span ID, hop incremented. A
+// ctx without a trace leaves h untouched, so cluster-internal calls made
+// outside any request (replication pushes, probes) stay header-free.
+func InjectTrace(ctx context.Context, h http.Header) {
+	if s := stateFrom(ctx); s != nil && s.trace.Valid() {
+		h.Set(TraceHeader, s.trace.Child().String())
+	}
+}
+
+// Span emits one structured span record for a stage that began at start.
+// It is a no-op without a collector on ctx.
+func Span(ctx context.Context, stage string, start time.Time, attrs ...slog.Attr) {
+	SpanDuration(ctx, stage, time.Since(start), attrs...)
+}
+
+// SpanDuration is Span with an explicit duration — for stages whose
+// elapsed time was measured elsewhere (engine stage timings, compute
+// results). The record is one slog JSON line with msg "span" and fields
+// trace_id, span_id, hop, stage, duration_ms plus the extra attrs.
+func SpanDuration(ctx context.Context, stage string, d time.Duration, attrs ...slog.Attr) {
+	s := stateFrom(ctx)
+	if s == nil || s.col == nil || s.col.logger == nil {
+		return
+	}
+	base := make([]slog.Attr, 0, 5+len(attrs))
+	base = append(base,
+		slog.String("trace_id", s.trace.TraceID),
+		slog.String("span_id", s.trace.SpanID),
+		slog.Int("hop", s.trace.Hop),
+		slog.String("stage", stage),
+		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+	)
+	base = append(base, attrs...)
+	s.col.logger.LogAttrs(context.Background(), slog.LevelInfo, "span", base...)
+}
+
+// ObserveAlgorithm records one computation's latency into the
+// per-algorithm histogram of the collector on ctx (no-op without one).
+func ObserveAlgorithm(ctx context.Context, algo string, d time.Duration) {
+	if c := CollectorFrom(ctx); c != nil {
+		c.algorithms.Observe(algo, d)
+	}
+}

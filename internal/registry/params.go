@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
@@ -270,6 +271,18 @@ func (d *paramsDecoder) byte(field string) (byte, error) {
 	return b, nil
 }
 
+// StageTiming is one phase of a run's wall-clock breakdown. The paper's
+// constructions decompose naturally into a component split, the
+// ball-carving rounds, and a merge; exposing those as first-class timings
+// (instead of one opaque elapsed total) is what lets per-phase costs be
+// compared against the per-round analysis.
+type StageTiming struct {
+	// Name identifies the phase ("split", "carve-rounds", "merge").
+	Name string `json:"name"`
+	// Elapsed is the phase's wall-clock duration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
 // Outcome is the result of executing one Params: exactly one of Carving
 // and Decomposition is set, matching Params.Kind. It is the canonical
 // result shape shared by Run, Exec, the Engine, and the serving layer.
@@ -283,6 +296,11 @@ type Outcome struct {
 	// Rounds is the simulated CONGEST round total when Params.Meter was
 	// set (0 otherwise).
 	Rounds int64
+	// Stages is the per-phase wall-clock breakdown of the run. It is
+	// populated only by backends with phase structure (the Engine) and
+	// only when the caller's context carries an observability collector —
+	// nil otherwise, so un-instrumented runs pay nothing for it.
+	Stages []StageTiming
 }
 
 // Runner executes canonical Params — the v2 execution interface satisfied

@@ -44,9 +44,15 @@ import (
 	"time"
 
 	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/registry"
 	"strongdecomp/internal/service"
 )
+
+// ServedByHeader names the shard that actually served a response. The
+// local handler stamps it (see WithServedBy) and the cluster proxy relays
+// it untouched, so a client of any coordinator sees the true placement.
+const ServedByHeader = "X-Strongdecomp-Served-By"
 
 // maxBodyBytes bounds request bodies (inline graphs included).
 const maxBodyBytes = 128 << 20
@@ -90,6 +96,23 @@ func WithClusterStats(fn func() map[string]int64) Option {
 	return func(a *api) { a.clusterStats = fn }
 }
 
+// WithObs attaches the process observability collector: New wraps the
+// handler in the collector's tracing middleware (idempotently — a request
+// already traced by an outer wrap passes through), and GET /metrics gains
+// the per-endpoint and per-algorithm latency histogram families plus the
+// in-flight and Go runtime gauges.
+func WithObs(c *obs.Collector) Option {
+	return func(a *api) { a.obs = c }
+}
+
+// WithServedBy stamps id into the ServedByHeader of every response this
+// handler serves. In a cluster each shard passes its own ID, and the
+// proxy relays the header verbatim on forwards, so the value a client
+// sees always names the shard that did the work, not the coordinator.
+func WithServedBy(id string) Option {
+	return func(a *api) { a.servedBy = id }
+}
+
 // New returns the HTTP handler serving s.
 func New(s *service.Service, opts ...Option) http.Handler {
 	api := &api{svc: s}
@@ -110,7 +133,23 @@ func New(s *service.Service, opts ...Option) http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", api.getJob)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", api.cancelJob)
 	mux.HandleFunc("GET /v2/jobs/{id}/result", api.jobResult)
-	return mux
+	var h http.Handler = mux
+	if api.servedBy != "" {
+		h = servedByHandler(api.servedBy, h)
+	}
+	if api.obs != nil {
+		h = api.obs.Middleware(h)
+	}
+	return h
+}
+
+// servedByHandler stamps the serving shard ID before delegating, so the
+// header reaches the wire ahead of the first WriteHeader call.
+func servedByHandler(id string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ServedByHeader, id)
+		next.ServeHTTP(w, r)
+	})
 }
 
 type api struct {
@@ -118,6 +157,8 @@ type api struct {
 	ready        func() error
 	healthDetail func() map[string]any
 	clusterStats func() map[string]int64
+	obs          *obs.Collector
+	servedBy     string
 }
 
 // healthz is the liveness probe: answering at all is the signal. The body
@@ -160,7 +201,7 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", prometheusContentType)
 		w.WriteHeader(http.StatusOK)
-		writePrometheus(w, a.svc.Stats(), shard)
+		writePrometheus(w, a.svc.Stats(), shard, a.obs)
 	case "json":
 		body := metricsJSON{Stats: a.svc.Stats()}
 		if a.clusterStats != nil {

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/service"
 )
 
@@ -60,8 +62,9 @@ func promName(key string) string {
 }
 
 // writePrometheus renders a Stats snapshot (plus the optional per-shard
-// counter block) as one exposition document.
-func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64) {
+// counter block and, when an obs collector is attached, the latency
+// histogram and runtime families) as one exposition document.
+func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64, col *obs.Collector) {
 	p := promWriter{w: w}
 
 	p.family("strongdecomp_uptime_seconds", "Seconds since the service started.", "gauge")
@@ -99,6 +102,10 @@ func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64) {
 	p.sample("strongdecomp_jobs", promLabel("state", "queued"), float64(st.Jobs.Queued))
 	p.sample("strongdecomp_jobs", promLabel("state", "running"), float64(st.Jobs.Running))
 	p.sample("strongdecomp_jobs", promLabel("state", "retained"), float64(st.Jobs.Retained))
+	// The unlabeled depth gauge duplicates strongdecomp_jobs{state="queued"}
+	// on purpose: alert rules want one flat series to threshold on.
+	p.family("strongdecomp_jobs_queue_depth", "Async jobs waiting in the bounded queue.", "gauge")
+	p.sample("strongdecomp_jobs_queue_depth", "", float64(st.Jobs.Queued))
 
 	if len(st.Runner) > 0 {
 		p.family("strongdecomp_runner", "Backend (engine) counters, by counter name.", "untyped")
@@ -139,6 +146,68 @@ func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64) {
 			p.sample(name, "", float64(shard[k]))
 		}
 	}
+
+	if col != nil {
+		writePrometheusObs(p, col)
+	}
+}
+
+// writePrometheusObs renders the collector-owned families: the latency
+// histograms (per endpoint and per algorithm), the in-flight gauge, and
+// the Go runtime block.
+func writePrometheusObs(p promWriter, col *obs.Collector) {
+	writeHistogramVec(p, "strongdecomp_http_request_duration_seconds",
+		"HTTP request latency by endpoint (method plus route pattern).",
+		"endpoint", col.Endpoints())
+	writeHistogramVec(p, "strongdecomp_algorithm_duration_seconds",
+		"Fresh computation latency by algorithm (cache hits excluded).",
+		"algorithm", col.Algorithms())
+
+	p.family("strongdecomp_inflight_requests", "HTTP requests currently being served.", "gauge")
+	p.sample("strongdecomp_inflight_requests", "", float64(col.InFlight()))
+
+	rt := obs.ReadRuntime()
+	p.family("strongdecomp_goroutines", "Live goroutines.", "gauge")
+	p.sample("strongdecomp_goroutines", "", float64(rt.Goroutines))
+	p.family("strongdecomp_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge")
+	p.sample("strongdecomp_heap_alloc_bytes", "", float64(rt.HeapAllocBytes))
+	p.family("strongdecomp_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge")
+	p.sample("strongdecomp_heap_sys_bytes", "", float64(rt.HeapSysBytes))
+	p.family("strongdecomp_gc_cycles_total", "Completed GC cycles.", "counter")
+	p.sample("strongdecomp_gc_cycles_total", "", float64(rt.GCCycles))
+	p.family("strongdecomp_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("strongdecomp_gc_pause_seconds_total", "", rt.GCPauseTotal.Seconds())
+}
+
+// writeHistogramVec renders one labeled histogram family in the
+// exposition's cumulative form: _bucket samples with le edges from the
+// shared obs bucket layout (everything above the top edge folds into
+// +Inf), then _sum in seconds and _count.
+func writeHistogramVec(p promWriter, name, help, label string, vec *obs.HistogramVec) {
+	snaps := vec.Snapshots()
+	if len(snaps) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(snaps))
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bounds := obs.BucketBounds()
+
+	p.family(name, help, "histogram")
+	for _, k := range keys {
+		snap := snaps[k]
+		kv := promLabel(label, k)
+		cum := snap.CumulativeBuckets()
+		for i, b := range bounds {
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			p.sample(name+"_bucket", kv+","+promLabel("le", le), float64(cum[i]))
+		}
+		p.sample(name+"_bucket", kv+","+promLabel("le", "+Inf"), float64(snap.Count))
+		p.sample(name+"_sum", kv, snap.Sum.Seconds())
+		p.sample(name+"_count", kv, float64(snap.Count))
+	}
 }
 
 // writePrometheusAlgorithms renders the per-algorithm families with an
@@ -177,6 +246,8 @@ func writePrometheusAlgorithms(p promWriter, algos map[string]service.AlgoStats)
 		func(a service.AlgoStats) float64 { return a.LatencyTotal.Seconds() })
 	emit("strongdecomp_algorithm_latency_seconds_max", "Max single-computation latency per algorithm.", "gauge",
 		func(a service.AlgoStats) float64 { return a.LatencyMax.Seconds() })
+	emit("strongdecomp_algorithm_latency_seconds_mean", "Mean computation latency per algorithm.", "gauge",
+		func(a service.AlgoStats) float64 { return a.LatencyMeanSeconds })
 }
 
 // sortedKeys returns the map's keys in sorted order for deterministic

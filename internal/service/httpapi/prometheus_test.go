@@ -1,0 +1,351 @@
+package httpapi
+
+// A parser-level well-formedness test of the whole /metrics document:
+// instead of grepping for a few known lines, this parses every line of
+// the exposition under the text-format (version 0.0.4) rules — HELP/TYPE
+// comments precede their family's samples, families are contiguous,
+// every sample belongs to a declared family, and histogram families are
+// cumulative with a +Inf bucket agreeing with _count. Any new family a
+// future change adds is checked automatically.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/obs"
+)
+
+// promFamily is one declared metric family of a parsed exposition.
+type promFamily struct {
+	help    bool
+	typ     string
+	samples []promSample
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses a text-format document, failing the test on any
+// structural violation: samples before their family's HELP/TYPE pair,
+// interleaved families, or unparseable lines.
+func parseExposition(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	families := make(map[string]*promFamily)
+	var current string // family whose sample block is open
+	closed := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		ln++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 3 {
+				t.Fatalf("line %d: malformed comment %q", ln, line)
+			}
+			name := fields[1]
+			f := families[name]
+			if f == nil {
+				f = &promFamily{}
+				families[name] = f
+			}
+			if len(f.samples) > 0 {
+				t.Fatalf("line %d: %s comment for %q after its samples", ln, fields[0], name)
+			}
+			if fields[0] == "HELP" {
+				f.help = true
+			} else {
+				f.typ = fields[2]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := parseSample(t, ln, line)
+		fam := sampleFamily(families, s.name)
+		if fam == "" {
+			t.Fatalf("line %d: sample %q belongs to no declared family", ln, s.name)
+		}
+		f := families[fam]
+		if !f.help || f.typ == "" {
+			t.Fatalf("line %d: family %q has samples before both HELP and TYPE", ln, fam)
+		}
+		if fam != current {
+			if closed[fam] {
+				t.Fatalf("line %d: family %q reopened after other families' samples", ln, fam)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		f.samples = append(f.samples, s)
+	}
+	return families
+}
+
+// sampleFamily resolves a sample name to its declared family: the name
+// itself, or — for histogram series — the name with its _bucket/_sum/
+// _count suffix stripped.
+func sampleFamily(families map[string]*promFamily, name string) string {
+	if f, ok := families[name]; ok && f.typ != "histogram" {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := families[base]; ok && f.typ == "histogram" {
+				return base
+			}
+		}
+	}
+	if _, ok := families[name]; ok {
+		return name
+	}
+	return ""
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: make(map[string]string)}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: no value separator in %q", ln, line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set in %q", ln, line)
+		}
+		parseLabels(t, ln, rest[1:end], s.labels)
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("line %d: unparseable value %q: %v", ln, rest, err)
+	}
+	s.value = v
+	return s
+}
+
+// parseLabels parses `k="v",k2="v2"` honoring the \\, \", \n escapes.
+func parseLabels(t *testing.T, ln int, in string, out map[string]string) {
+	t.Helper()
+	for len(in) > 0 {
+		eq := strings.Index(in, "=")
+		if eq < 0 || len(in) < eq+2 || in[eq+1] != '"' {
+			t.Fatalf("line %d: malformed label pair in %q", ln, in)
+		}
+		key := in[:eq]
+		rest := in[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			t.Fatalf("line %d: unterminated label value in %q", ln, in)
+		}
+		out[key] = val.String()
+		in = rest[i+1:]
+		in = strings.TrimPrefix(in, ",")
+	}
+}
+
+// labelKey renders a sample's labels (minus le) as a stable grouping key.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+	}
+	return b.String()
+}
+
+// checkHistogram asserts one histogram family is cumulative and
+// internally consistent for every label set it carries.
+func checkHistogram(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	type series struct {
+		buckets []promSample // in document order
+		sum     *promSample
+		count   *promSample
+	}
+	byLabels := make(map[string]*series)
+	get := func(s promSample) *series {
+		k := labelKey(s.labels)
+		if byLabels[k] == nil {
+			byLabels[k] = &series{}
+		}
+		return byLabels[k]
+	}
+	for _, s := range f.samples {
+		s := s
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			get(s).buckets = append(get(s).buckets, s)
+		case strings.HasSuffix(s.name, "_sum"):
+			get(s).sum = &s
+		case strings.HasSuffix(s.name, "_count"):
+			get(s).count = &s
+		default:
+			t.Errorf("%s: stray sample %q in histogram family", name, s.name)
+		}
+	}
+	for k, sr := range byLabels {
+		if len(sr.buckets) == 0 || sr.sum == nil || sr.count == nil {
+			t.Errorf("%s{%s}: incomplete histogram (buckets %d, sum %v, count %v)",
+				name, k, len(sr.buckets), sr.sum != nil, sr.count != nil)
+			continue
+		}
+		prevLE := math.Inf(-1)
+		prevCum := -1.0
+		for i, b := range sr.buckets {
+			leStr, ok := b.labels["le"]
+			if !ok {
+				t.Errorf("%s{%s}: bucket without le", name, k)
+				continue
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Errorf("%s{%s}: bad le %q", name, k, leStr)
+					continue
+				}
+			} else if i != len(sr.buckets)-1 {
+				t.Errorf("%s{%s}: +Inf bucket not last", name, k)
+			}
+			if le <= prevLE {
+				t.Errorf("%s{%s}: le %v not ascending", name, k, leStr)
+			}
+			if b.value < prevCum {
+				t.Errorf("%s{%s}: bucket counts not cumulative at le=%s (%v < %v)", name, k, leStr, b.value, prevCum)
+			}
+			prevLE, prevCum = le, b.value
+		}
+		last := sr.buckets[len(sr.buckets)-1]
+		if last.labels["le"] != "+Inf" {
+			t.Errorf("%s{%s}: last bucket le=%q, want +Inf", name, k, last.labels["le"])
+		}
+		if last.value != sr.count.value {
+			t.Errorf("%s{%s}: +Inf bucket %v != _count %v", name, k, last.value, sr.count.value)
+		}
+		if sr.count.value > 0 && sr.sum.value < 0 {
+			t.Errorf("%s{%s}: negative _sum %v", name, k, sr.sum.value)
+		}
+	}
+}
+
+// TestServiceHTTPMetricsWellFormed drives traffic through an instrumented
+// handler, scrapes /metrics, and verifies the whole document parses under
+// the exposition-format rules — histogram families included.
+func TestServiceHTTPMetricsWellFormed(t *testing.T) {
+	col := obs.NewCollector(nil)
+	srv, algo := newOptsServer(t,
+		WithObs(col),
+		WithServedBy("s0"),
+		WithClusterStats(func() map[string]int64 {
+			return map[string]int64{"proxied_total": 3, "peers_down": 0}
+		}),
+	)
+
+	// Traffic: a compute (fills the per-algorithm histogram and stats), a
+	// health probe, and a first scrape (so the scrape endpoint itself has
+	// a histogram series by the time the asserted scrape happens).
+	g := graph.Cycle(12)
+	if resp, body := postJSON(t, srv.URL+"/v1/decompose", map[string]any{"graph": graphio.ToDocument(g), "algo": algo}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compute: %d %s", resp.StatusCode, body)
+	}
+	if status, _, _ := get(t, srv.URL+"/healthz"); status != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	get(t, srv.URL+"/metrics")
+
+	status, ctype, body := get(t, srv.URL+"/metrics")
+	if status != http.StatusOK || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("scrape: status %d type %q", status, ctype)
+	}
+
+	families := parseExposition(t, string(body))
+	for name, f := range families {
+		if !f.help || f.typ == "" {
+			t.Errorf("family %q missing HELP or TYPE", name)
+		}
+		if len(f.samples) == 0 {
+			t.Errorf("family %q declared but has no samples", name)
+		}
+		if f.typ == "histogram" {
+			checkHistogram(t, name, f)
+		}
+	}
+
+	// The families this PR adds must be present, with real observations.
+	for _, want := range []string{
+		"strongdecomp_http_request_duration_seconds",
+		"strongdecomp_algorithm_duration_seconds",
+	} {
+		f := families[want]
+		if f == nil || f.typ != "histogram" {
+			t.Fatalf("family %q missing or not a histogram", want)
+		}
+	}
+	for _, want := range []string{
+		"strongdecomp_inflight_requests",
+		"strongdecomp_goroutines",
+		"strongdecomp_heap_alloc_bytes",
+		"strongdecomp_jobs_queue_depth",
+		"strongdecomp_algorithm_latency_seconds_mean",
+	} {
+		if families[want] == nil {
+			t.Errorf("family %q missing", want)
+		}
+	}
+
+	// The per-algorithm histogram saw exactly the one fresh compute.
+	var algoCount float64
+	for _, s := range families["strongdecomp_algorithm_duration_seconds"].samples {
+		if strings.HasSuffix(s.name, "_count") && s.labels["algorithm"] == algo {
+			algoCount = s.value
+		}
+	}
+	if algoCount != 1 {
+		t.Errorf("algorithm histogram count = %v, want 1", algoCount)
+	}
+}

@@ -25,11 +25,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
 	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/registry"
 )
 
@@ -264,6 +266,12 @@ type Result struct {
 	// PeerHit reports that the result was fetched from a cluster peer's
 	// cache instead of being recomputed (cluster mode only).
 	PeerHit bool
+	// Stages is the engine's per-phase timing breakdown of the underlying
+	// computation. It is populated only on instrumented fresh computes
+	// (see registry.Outcome.Stages) and is process-local: cached,
+	// persisted, and peer-served results carry none, because they did not
+	// run the phases.
+	Stages []registry.StageTiming
 }
 
 // coversN reports whether the result's assignment covers exactly n
@@ -423,10 +431,14 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 	}
 
 	key := cacheKey{hash: hash, params: p.Key()}
+	lookup := time.Now()
 	if res, ok := s.cache.get(key); ok && res.coversN(g.N()) {
 		st.cacheHits.Add(1)
+		obs.Span(ctx, "cache", lookup,
+			slog.String("tier", "lru"), slog.String("algo", p.Algorithm), slog.String("kind", string(kind)))
 		out := *res
 		out.CacheHit = true
+		out.Stages = nil // the phases ran for the original compute, not this request
 		return &out, nil
 	} else if ok {
 		// A replica admitted before the graph arrived locally could not
@@ -442,6 +454,8 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 	if s.persist != nil {
 		if res, ok := s.persist.loadResult(key, g.N()); ok {
 			st.cacheHits.Add(1)
+			obs.Span(ctx, "cache", lookup,
+				slog.String("tier", "disk"), slog.String("algo", p.Algorithm), slog.String("kind", string(kind)))
 			s.cache.put(key, res)
 			out := *res
 			out.CacheHit = true
@@ -461,6 +475,10 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 		defer cancel()
 	}
 	res, err, shared := s.flight.do(ctx, key, func(runCtx context.Context) (*Result, error) {
+		// The flight deliberately detaches from the caller's cancellation
+		// (context.WithoutCancel); the caller's trace and collector must
+		// survive the detach for the peer/compute spans to keep flowing.
+		runCtx = obs.Transfer(runCtx, ctx)
 		if s.cfg.Timeout > 0 {
 			var cancel context.CancelFunc
 			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.Timeout)
@@ -470,8 +488,11 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 		// exact result — a network hop instead of a recompute. A peer hit
 		// is admitted to the local tiers like a disk hit would be.
 		if pl := s.cfg.Cluster.PeerLookup; pl != nil {
+			peerStart := time.Now()
 			if out, ok := pl(runCtx, hash, key.params, g.N()); ok && out != nil {
 				st.peerHits.Add(1)
+				obs.Span(runCtx, "cache", peerStart,
+					slog.String("tier", "peer"), slog.String("algo", p.Algorithm), slog.String("kind", string(kind)))
 				s.cache.put(key, out)
 				if s.persist != nil {
 					s.persist.saveResult(key, out)
@@ -486,6 +507,13 @@ func (s *Service) do(ctx context.Context, kind registry.Kind, req *Request) (*Re
 			return nil, err
 		}
 		st.recordLatency(out.Elapsed)
+		obs.ObserveAlgorithm(runCtx, p.Algorithm, out.Elapsed)
+		for _, stage := range out.Stages {
+			obs.SpanDuration(runCtx, stage.Name, stage.Elapsed,
+				slog.String("scope", "engine"), slog.String("algo", p.Algorithm))
+		}
+		obs.SpanDuration(runCtx, "compute", out.Elapsed,
+			slog.String("tier", "compute"), slog.String("algo", p.Algorithm), slog.String("kind", string(kind)))
 		s.cache.put(key, out)
 		if s.persist != nil {
 			s.persist.saveResult(key, out)
@@ -530,6 +558,7 @@ func (s *Service) compute(ctx context.Context, runner Runner, g *graph.Graph, ha
 		Decomposition: o.Decomposition,
 		Rounds:        o.Rounds,
 		Elapsed:       time.Since(start),
+		Stages:        o.Stages,
 	}, nil
 }
 

@@ -77,6 +77,11 @@ type AlgoStats struct {
 	LatencyTotal time.Duration `json:"latency_total_ns"`
 	LatencyMax   time.Duration `json:"latency_max_ns"`
 	LatencyMean  time.Duration `json:"latency_mean_ns"`
+	// LatencyMeanSeconds is the mean computed in float seconds — the form
+	// the Prometheus export consumes. The integer LatencyMean above
+	// truncates toward zero at nanosecond granularity (total/computes in
+	// integer division) and survives for JSON compatibility only.
+	LatencyMeanSeconds float64 `json:"latency_mean_seconds"`
 }
 
 // Stats is a Service-wide snapshot: totals, cache occupancy, per-algorithm
@@ -146,6 +151,7 @@ func (s *Service) Stats() Stats {
 		}
 		if a.Computes > 0 {
 			a.LatencyMean = a.LatencyTotal / time.Duration(a.Computes)
+			a.LatencyMeanSeconds = a.LatencyTotal.Seconds() / float64(a.Computes)
 		}
 		out.Algorithms[name] = a
 		out.Requests += a.Requests

@@ -16,6 +16,7 @@ import (
 
 	"strongdecomp/internal/graph"
 	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/service"
 )
 
@@ -448,6 +449,7 @@ func (c *Cluster) fetchPeerResult(ctx context.Context, m Member, graphHash, para
 		return nil, false
 	}
 	c.setPeerAuth(req.Header)
+	obs.InjectTrace(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.markDown(m.ID)

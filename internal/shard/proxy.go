@@ -14,10 +14,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"strongdecomp/internal/graphio"
+	"strongdecomp/internal/obs"
 	"strongdecomp/internal/service"
 	"strongdecomp/internal/service/httpapi"
 )
@@ -135,12 +138,14 @@ func (p *proxy) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) 
 // no response was received — once m starts answering, its response is
 // streamed through and the request is committed.
 func (p *proxy) forward(w http.ResponseWriter, r *http.Request, body []byte, m Member) error {
+	start := time.Now()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, m.URL+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header = r.Header.Clone()
 	p.c.setPeerAuth(req.Header)
+	obs.InjectTrace(r.Context(), req.Header)
 	resp, err := p.c.proxyClient.Do(req)
 	if err != nil {
 		return err
@@ -148,14 +153,25 @@ func (p *proxy) forward(w http.ResponseWriter, r *http.Request, body []byte, m M
 	defer resp.Body.Close()
 	p.c.proxied.Add(1)
 	copyResponse(w, resp)
+	obs.Span(r.Context(), "proxy", start,
+		slog.String("target", m.ID),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", resp.StatusCode),
+	)
 	return nil
 }
 
 // copyResponse relays a peer response: headers, status, then the body
 // with per-chunk flushing so NDJSON result streams flow through the
-// proxy incrementally.
+// proxy incrementally. Header keys the coordinator already wrote (the
+// trace echo from its own middleware) win over the peer's copies —
+// relaying those too would duplicate them on the wire — while headers
+// only the peer set (its ServedByHeader stamp) pass through untouched.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	for k, vs := range resp.Header {
+		if len(w.Header().Values(k)) > 0 {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -388,6 +404,7 @@ func (p *proxy) jobByID(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		p.c.setPeerAuth(req.Header)
+		obs.InjectTrace(r.Context(), req.Header)
 		resp, err := p.c.proxyClient.Do(req)
 		if err != nil {
 			p.c.markDown(m.ID)
@@ -520,6 +537,7 @@ func (p *proxy) runSubBatch(r *http.Request, m Member, items []json.RawMessage, 
 		}
 		req.Header.Set("Content-Type", "application/json")
 		p.c.setPeerAuth(req.Header)
+		obs.InjectTrace(r.Context(), req.Header)
 		resp, err := p.c.proxyClient.Do(req)
 		if err != nil {
 			p.c.markDown(m.ID)
