@@ -1,0 +1,77 @@
+// Command sdlint runs the repository's analyzer suite (see
+// docs/LINTS.md). It speaks two protocols:
+//
+//	go vet -vettool=$(command -v sdlint) ./...   # cmd/go drives it per unit
+//	sdlint [packages]                            # standalone, defaults to ./...
+//
+// The vettool mode is what CI uses: cmd/go caches verdicts keyed by the
+// binary's content hash, so unchanged packages are not re-analyzed. The
+// standalone mode loads and typechecks the whole closure itself and
+// needs only the go toolchain on PATH. Exit status: 0 clean, 1 tool
+// failure, 2 findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"strongdecomp/internal/lint/analyzers"
+	"strongdecomp/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	suite := analyzers.All()
+	if vettoolInvocation(args) {
+		return driver.VettoolMain("sdlint", args, suite)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 1
+	}
+	root, err := driver.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 1
+	}
+	ld := driver.NewLoader(root)
+	units, err := ld.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 1
+	}
+	diags, err := driver.Run(ld.Fset, units, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sdlint: %d findings\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// vettoolInvocation reports whether args look like cmd/go driving the
+// binary as a vet tool: version/flag queries or a single vet config.
+func vettoolInvocation(args []string) bool {
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full", "-flags", "--flags":
+			return true
+		}
+	}
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}

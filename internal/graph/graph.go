@@ -209,6 +209,8 @@ func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 // Neighbors returns v's neighbor list in increasing order. The returned
 // slice is a view of the graph's flat CSR storage — no allocation — and
 // must not be modified.
+//
+//sdlint:hotpath
 func (g *Graph) Neighbors(v int) []int {
 	lo, hi := g.offsets[v], g.offsets[v+1]
 	return g.targets[lo:hi:hi]

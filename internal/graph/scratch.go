@@ -46,6 +46,8 @@ func (s *Scratch) grow(n int) int64 {
 // BFS is the scratch-owned variant of the package-level BFS: identical
 // semantics, but the returned visit-order slice aliases the scratch queue
 // and is only valid until the next use of s.
+//
+//sdlint:hotpath
 func (s *Scratch) BFS(g *Graph, alive []bool, srcs []int, dist []int) []int {
 	for i := range dist {
 		dist[i] = -1
@@ -107,6 +109,8 @@ func (s *Scratch) Components(g *Graph, alive []bool) [][]int {
 
 // IsConnected reports whether the subgraph induced by nodes is connected
 // (an empty or singleton set is connected). Zero allocations.
+//
+//sdlint:hotpath
 func (s *Scratch) IsConnected(g *Graph, nodes []int) bool {
 	if len(nodes) <= 1 {
 		return true

@@ -178,7 +178,7 @@ func ReadCSR(r io.Reader) (*graph.Graph, error) {
 
 	var hdrBuf [snapshotHeaderLen]byte
 	if _, err := io.ReadFull(tr, hdrBuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrSnapshotCorrupt, err)
 	}
 	hdr, err := parseSnapshotHeader(hdrBuf[:])
 	if err != nil {
@@ -187,17 +187,17 @@ func ReadCSR(r io.Reader) (*graph.Graph, error) {
 
 	offsets, err := readInt64Words(tr, hdr.n+1)
 	if err != nil {
-		return nil, fmt.Errorf("%w: reading offsets: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: reading offsets: %w", ErrSnapshotCorrupt, err)
 	}
 	targets, err := readIntWords(tr, 2*hdr.m)
 	if err != nil {
-		return nil, fmt.Errorf("%w: reading targets: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: reading targets: %w", ErrSnapshotCorrupt, err)
 	}
 
 	want := h.Sum(nil)
 	var got [snapshotFooterLen]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading checksum footer: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: reading checksum footer: %w", ErrSnapshotCorrupt, err)
 	}
 	if !bytes.Equal(want, got[:]) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
@@ -205,7 +205,7 @@ func ReadCSR(r io.Reader) (*graph.Graph, error) {
 
 	g, err := graph.NewFromCSR(offsets, targets)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	return g, nil
 }
@@ -294,7 +294,7 @@ func decodeSnapshot(data []byte, zeroCopy, verifyStructure bool) (*graph.Graph, 
 	}
 	g, err := graph.NewFromCSR(offsets, targets)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	return g, nil
 }

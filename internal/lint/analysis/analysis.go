@@ -1,0 +1,74 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis interface: an Analyzer is a named check
+// with a Run function over a typechecked package, reporting Diagnostics
+// through its Pass. The repo's analyzers (internal/lint/analyzers) are
+// written against this interface so that one driver — the in-test runner,
+// the standalone cmd/sdlint mode, and the `go vet -vettool` unitchecker
+// protocol — executes all of them identically, without pulling the x/tools
+// module into the build.
+//
+// The subset is deliberate: no Requires graph, no Facts, no suggested
+// fixes. Every analyzer in this repository is a single package-local pass,
+// which keeps the vettool protocol implementation (driver/unitchecker.go)
+// free of cross-package fact plumbing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The struct mirrors the x/tools
+// type of the same name closely enough that porting an analyzer between
+// the two is a matter of changing the import path.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By x/tools
+	// convention it is a lowercase identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Filter, when non-nil, restricts where the analyzer runs: drivers
+	// call it with the candidate package's import path and skip the
+	// package when it returns false. A nil Filter means "every package in
+	// this module". Fixture runners (analysistest) bypass the filter.
+	Filter func(pkgPath string) bool
+	// Run executes the check over one package and reports findings via
+	// pass.Report. The result value is unused by this framework's drivers
+	// but kept for interface parity.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the typechecked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression, definition, use and
+	// selection maps for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message, plus an optional
+// category for grouping.
+type Diagnostic struct {
+	// Pos is where the finding anchors.
+	Pos token.Pos
+	// Category optionally subdivides an analyzer's findings.
+	Category string
+	// Message is the human-readable report.
+	Message string
+}

@@ -1,0 +1,249 @@
+// Package analysistest runs an analyzer over checked-in fixture packages
+// and compares its diagnostics against `// want "regexp"` comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest: every
+// diagnostic must be expected by a want comment on its line, and every
+// want comment must be matched by a diagnostic. Fixtures live under
+// <caller>/testdata/src/<pkg>/ and may import anything the module's `go
+// list` can see (in practice: the standard library), resolved through
+// the same source-typechecking loader the repo driver uses.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"strongdecomp/internal/lint/analysis"
+	"strongdecomp/internal/lint/driver"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *driver.Loader
+	loaderErr  error
+)
+
+// sharedLoader returns the process-wide fixture-import loader, rooted at
+// the enclosing module so `go list` resolves the standard library once
+// for every fixture test in the binary.
+func sharedLoader() (*driver.Loader, error) {
+	loaderOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := driver.ModuleRoot(wd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader = driver.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+// expectation is one parsed `// want` pattern, consumed when a
+// diagnostic on its line matches.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run executes the analyzer over each fixture package directory
+// (relative to ./testdata/src) and asserts the want contract.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", a.Name, dir)
+	}
+
+	// Expectations: every `// want` comment, keyed by file:line.
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				spec, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				exps, err := parseWants(spec)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				wants[key] = append(wants[key], exps...)
+			}
+		}
+	}
+
+	// Typecheck the fixture with imports resolved from source.
+	ld, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("%s: loader: %v", a.Name, err)
+	}
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, _ := strconv.Unquote(spec.Path.Value)
+			importSet[p] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	imp, err := ld.LoadImports(imports...)
+	if err != nil {
+		t.Fatalf("%s: fixture imports: %v", a.Name, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck fixture %s: %v", a.Name, pkg, err)
+	}
+
+	// Run the analyzer directly — fixture runs bypass the path Filter.
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: run: %v", a.Name, err)
+	}
+
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q at %s, got none", a.Name, exp.raw, k)
+			}
+		}
+	}
+}
+
+// parseWants parses the string-literal list after "want": one or more
+// double- or back-quoted Go string literals, each a regexp.
+func parseWants(spec string) ([]*expectation, error) {
+	var out []*expectation
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", spec)
+			}
+			var err error
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", spec)
+			}
+			lit = rest[1 : end+1]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("expected string literal at %q", rest)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &expectation{rx: rx, raw: lit})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns in want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,32 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"strongdecomp/internal/lint/analysistest"
+	"strongdecomp/internal/lint/analyzers"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, analyzers.HotPathAlloc, "hotpathalloc")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analyzers.AtomicField, "atomicfield")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analyzers.CtxFlow, "ctxflow")
+}
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, analyzers.ErrSentinel, "errsentinel")
+}
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analyzers.LockScope, "lockscope")
+}
+
+func TestDocComment(t *testing.T) {
+	analysistest.Run(t, analyzers.DocComment, "doccomment")
+}

@@ -1,0 +1,176 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// AtomicField reports mixed atomic/non-atomic access to struct fields:
+// a field of a sync/atomic type (atomic.Int64 and friends) may only be
+// touched through its methods or by address, and a plain field that is
+// anywhere passed to a sync/atomic function (atomic.AddInt64(&s.f, ...))
+// must be accessed that way everywhere in the package.
+var AtomicField = &analysis.Analyzer{
+	Name:   "atomicfield",
+	Doc:    "reports non-atomic access to struct fields that are elsewhere accessed atomically",
+	Filter: inModule,
+	Run:    runAtomicField,
+}
+
+// atomicValueTypes are the sync/atomic wrapper types whose values must
+// never be copied or reassigned wholesale.
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicField(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect the plain fields addressed by sync/atomic calls.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name seen
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if funcPkgPath(fn) != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := selectedField(info, u.X); v != nil {
+					atomicFields[v] = fn.Name()
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag offending uses of both field classes.
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := selectedField(info, sel)
+			if v == nil {
+				return true
+			}
+			if name, isAtomicTyped := atomicTypeName(v.Type()); isAtomicTyped {
+				if !allowedAtomicValueUse(stack, sel) {
+					pass.Reportf(sel.Pos(), "field %s is %s; use its atomic methods — copying or reassigning it tears the value", v.Name(), name)
+				}
+				return true
+			}
+			if fnName, tracked := atomicFields[v]; tracked {
+				if !insideAtomicCallArg(info, stack) {
+					pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic.%s elsewhere in this package; this plain access races with it", v.Name(), fnName)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// selectedField resolves e to the struct field it selects, or nil.
+func selectedField(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Qualified package selectors (pkg.Var) resolve through Uses.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// atomicTypeName reports whether t is (or is an array of) a sync/atomic
+// wrapper type, returning a printable name.
+func atomicTypeName(t types.Type) (string, bool) {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		if name, ok := atomicTypeName(arr.Elem()); ok {
+			return "an array of " + name, true
+		}
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !atomicValueTypes[obj.Name()] {
+		return "", false
+	}
+	return "atomic." + obj.Name(), true
+}
+
+// allowedAtomicValueUse reports whether the atomic-typed selector is
+// used safely: as a method receiver (x.f.Load()), behind & (passing the
+// address), indexed into (x.buckets[i], itself then method-called or
+// further checked), or ranged over by index only (for i := range
+// x.buckets — the spec skips evaluating, and therefore copying, an
+// array range expression when at most one iteration variable is used).
+func allowedAtomicValueUse(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	cur := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			// x.f.Load — safe only when cur is the operand, and the outer
+			// selector is a method (not a further field copy); method vs
+			// field is settled when the outer selector is itself visited.
+			return p.X == cur
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+			continue
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == cur
+		case *ast.RangeStmt:
+			return p.X == cur && p.Value == nil
+		}
+		return false
+	}
+	return false
+}
+
+// insideAtomicCallArg reports whether the innermost enclosing call whose
+// argument chain contains the node is a sync/atomic function taking the
+// field by address: ... atomic.Fn(&x.f ...) ...
+func insideAtomicCallArg(info *types.Info, stack []ast.Node) bool {
+	// The immediate shape is &sel inside a call's argument list.
+	if len(stack) < 2 {
+		return false
+	}
+	u, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return funcPkgPath(fn) == "sync/atomic"
+}

@@ -1,0 +1,157 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// CtxFlow enforces context threading: a function that receives a
+// context.Context must actually flow it to its callees. Inside such a
+// function it reports calls to context.Background()/context.TODO()
+// (which silently detach the caller's deadline and trace), nil passed
+// where a context.Context parameter is expected, and calls to F when a
+// sibling FContext variant exists that would accept the context.
+var CtxFlow = &analysis.Analyzer{
+	Name:   "ctxflow",
+	Doc:    "reports dropped contexts: Background()/TODO() calls, nil contexts, and non-Context call variants inside functions that receive a context.Context",
+	Filter: inModule,
+	Run:    runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if name := ctxParamName(ftype); name != "" {
+				checkCtxBody(pass, name, body)
+			}
+			return true // nested functions are visited independently
+		})
+	}
+	return nil, nil
+}
+
+// ctxParamName returns the name of the function's first usable (non-
+// blank) context.Context parameter, or "".
+func ctxParamName(ftype *ast.FuncType) string {
+	if ftype == nil || ftype.Params == nil {
+		return ""
+	}
+	for _, field := range ftype.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// checkCtxBody walks one ctx-receiving function body. Nested function
+// literals that declare their own context parameter are pruned — they
+// are checked against that inner context instead.
+func checkCtxBody(pass *analysis.Pass, ctxName string, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && ctxParamName(fl.Type) != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if funcPkgPath(fn) == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() discards the in-scope context %s; pass %s (or derive from it, e.g. context.WithoutCancel) instead", fn.Name(), ctxName, ctxName)
+			return true
+		}
+		sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !isUntypedNil(info, arg) {
+				continue
+			}
+			if pt := paramTypeAt(sig, i, call.Ellipsis.IsValid()); pt != nil && isCtxType(pt) {
+				pass.Reportf(arg.Pos(), "nil context passed to %s; pass %s instead", calleeName(fn, call), ctxName)
+			}
+		}
+		if fn != nil && !signatureAcceptsCtx(sig) {
+			if alt := ctxSibling(fn); alt != "" {
+				pass.Reportf(call.Pos(), "%s ignores the in-scope context %s; call %s instead", fn.Name(), ctxName, alt)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName renders a short callee name for diagnostics.
+func calleeName(fn *types.Func, call *ast.CallExpr) string {
+	if fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// ctxSibling returns the qualified name of a same-scope FContext variant
+// of fn that accepts a context.Context, or "".
+func ctxSibling(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	want := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		if iface, ok := named.Underlying().(*types.Interface); ok {
+			for i := 0; i < iface.NumMethods(); i++ {
+				if m := iface.Method(i); m.Name() == want && signatureAcceptsCtx(m.Type().(*types.Signature)) {
+					return named.Obj().Name() + "." + want
+				}
+			}
+			return ""
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want && signatureAcceptsCtx(m.Type().(*types.Signature)) {
+				return named.Obj().Name() + "." + want
+			}
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if alt, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && signatureAcceptsCtx(alt.Type().(*types.Signature)) {
+		return fn.Pkg().Name() + "." + want
+	}
+	return ""
+}

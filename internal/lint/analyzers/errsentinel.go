@@ -1,0 +1,193 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// ErrSentinel enforces wrap-aware sentinel handling: sentinel errors
+// (package-level error variables such as ErrQueueFull or io.EOF) must be
+// matched with errors.Is, never ==/!= or a switch on the error value,
+// and error operands of fmt.Errorf must be wrapped with %w — %v or %s
+// flattens the chain and silently breaks every downstream errors.Is.
+var ErrSentinel = &analysis.Analyzer{
+	Name:   "errsentinel",
+	Doc:    "reports ==/!=/switch comparisons against sentinel errors and fmt.Errorf %v/%s formatting of errors where %w is required",
+	Filter: inModule,
+	Run:    runErrSentinel,
+}
+
+func runErrSentinel(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					v := sentinelError(info, pair[0])
+					if v == nil || isUntypedNil(info, pair[1]) {
+						continue
+					}
+					pass.Reportf(n.Pos(), "comparison with %s misses wrapped errors; use errors.Is(err, %s)", v.Name(), v.Name())
+					break
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(info, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelError(info, e); v != nil {
+							pass.Reportf(e.Pos(), "switch case compares the error to %s with ==; use if/else with errors.Is(err, %s)", v.Name(), v.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelError resolves e to a package-level error variable, or nil.
+func sentinelError(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.AssignableTo(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e's type is assignable to error — the
+// precondition for %w wrapping and errors.Is matching.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && types.AssignableTo(t, errorType)
+}
+
+// checkErrorfWrap flags error-typed fmt.Errorf operands formatted with
+// %v or %s instead of %w.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if funcPkgPath(fn) != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for _, v := range parseFmtVerbs(format) {
+		if v.c != 'v' && v.c != 's' {
+			continue
+		}
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) || call.Ellipsis.IsValid() {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if isUntypedNil(info, arg) || !isErrorExpr(info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error formatted with %%%c loses the wrap chain; use %%w so errors.Is still matches (%s)", v.c, quoteShort(format))
+	}
+}
+
+// fmtVerb is one parsed formatting directive: the zero-based operand
+// index it consumes and the verb character.
+type fmtVerb struct {
+	arg int
+	c   byte
+}
+
+// parseFmtVerbs scans a Printf-style format string, handling %%,
+// flags, *-width/precision (which consume an operand), and explicit
+// [n] argument indexes.
+func parseFmtVerbs(s string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(s) && s[i] == '%' {
+			continue
+		}
+		for i < len(s) && (s[i] == '+' || s[i] == '-' || s[i] == '#' || s[i] == ' ' || s[i] == '0') {
+			i++
+		}
+		if i < len(s) && s[i] == '[' {
+			j := i
+			for j < len(s) && s[j] != ']' {
+				j++
+			}
+			if j == len(s) {
+				return out // malformed; fmt would print %!(BADINDEX)
+			}
+			if n, err := strconv.Atoi(s[i+1 : j]); err == nil {
+				arg = n - 1
+			}
+			i = j + 1
+		}
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i < len(s) && s[i] == '*' {
+			arg++
+			i++
+		}
+		if i < len(s) && s[i] == '.' {
+			i++
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			if i < len(s) && s[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		if i >= len(s) {
+			break
+		}
+		out = append(out, fmtVerb{arg: arg, c: s[i]})
+		arg++
+	}
+	return out
+}
+
+// quoteShort renders the format string for a diagnostic, truncated so
+// messages stay one line.
+func quoteShort(s string) string {
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return strconv.Quote(s)
+}

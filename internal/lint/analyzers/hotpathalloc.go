@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// HotPathDirective marks a function whose body must not allocate; it is
+// the annotation the hotpathalloc analyzer enforces and belongs on the
+// paths pinned by the repo's AllocsPerRun guards.
+const HotPathDirective = "//sdlint:hotpath"
+
+// HotPathAlloc reports allocating constructs inside functions annotated
+// with //sdlint:hotpath.
+var HotPathAlloc = &analysis.Analyzer{
+	Name:   "hotpathalloc",
+	Doc:    "reports allocating constructs (make/new, slice/map/closure literals, unbounded append, fmt calls, interface boxing) in //sdlint:hotpath functions",
+	Filter: inModule,
+	Run:    runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, HotPathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, "hot path ("+fd.Name.Name+"): "+format, args...)
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						report(n.Pos(), "&composite literal allocates")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates a closure")
+			return false // its body is not part of this hot path
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, n, stack)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	// Builtins: make, new, and append that does not feed back into its
+	// own operand (the preallocated-capacity reuse shape).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if !appendReusesOperand(call, stack) {
+					report(call.Pos(), "append result is not reassigned to its operand; growth beyond preallocated capacity allocates")
+				}
+			}
+			return
+		}
+	}
+	// Conversions that copy: to string, from string, or to interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		switch d := dst.(type) {
+		case *types.Interface:
+			if src != nil && boxes(src) {
+				report(call.Pos(), "conversion to interface boxes %s", src)
+			}
+		case *types.Basic:
+			if d.Info()&types.IsString != 0 && src != nil {
+				if _, fromSlice := src.Underlying().(*types.Slice); fromSlice {
+					report(call.Pos(), "[]byte/[]rune to string conversion allocates")
+				}
+			}
+		case *types.Slice:
+			if src != nil {
+				if b, ok := src.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					report(call.Pos(), "string to slice conversion allocates")
+				}
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	switch funcPkgPath(fn) {
+	case "fmt", "log", "log/slog":
+		report(call.Pos(), "call to %s.%s allocates (formatting/boxing)", fn.Pkg().Name(), fn.Name())
+		return
+	case "errors":
+		if fn.Name() == "New" {
+			report(call.Pos(), "errors.New allocates")
+			return
+		}
+	}
+	// Interface-typed parameters box concrete non-pointer arguments.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(info, arg) {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if boxes(at) {
+			report(arg.Pos(), "argument boxes %s into interface parameter", at)
+		}
+	}
+}
+
+// appendReusesOperand reports whether the append call's result is
+// assigned back to the expression it appends to (x = append(x, ...)),
+// the shape that reuses preallocated capacity.
+func appendReusesOperand(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || ast.Unparen(asg.Rhs[0]) != call {
+		return false
+	}
+	return types.ExprString(asg.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// boxes reports whether storing a value of concrete type t in an
+// interface allocates: true unless the type is pointer-shaped (pointer,
+// chan, map, func, unsafe.Pointer).
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() != types.UnsafePointer
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// LockScope reports blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: outbound HTTP round-trips, subprocess waits
+// (os/exec Run/Output/Wait), channel sends (except non-blocking
+// select-with-default sends), and WaitGroup.Wait. Any of these can
+// stall every other goroutine contending for the lock — in the serving
+// tier that turns one slow peer into a full shard stall. The scan is
+// intra-procedural and source-ordered: a lock is considered held from
+// the Lock/RLock call until a matching Unlock/RUnlock in the same
+// function body; deferred unlocks keep the lock held to the end of the
+// function, which is also true at runtime.
+var LockScope = &analysis.Analyzer{
+	Name:   "lockscope",
+	Doc:    "reports HTTP calls, subprocess waits, channel sends, and WaitGroup.Wait while a sync.Mutex/RWMutex is held",
+	Filter: inModule,
+	Run:    runLockScope,
+}
+
+func runLockScope(pass *analysis.Pass) (any, error) {
+	c := &lockChecker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		reported: make(map[lockReportKey]bool),
+	}
+	var order []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			order = append(order, fd)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+			}
+		}
+	}
+	for _, fd := range order {
+		c.walk(fd.Body, make(map[string]heldLock), make(map[*ast.FuncDecl]bool))
+	}
+	return nil, nil
+}
+
+// heldLock records one acquired lock: where and with which method.
+type heldLock struct {
+	pos    token.Pos
+	method string // Lock or RLock
+}
+
+// lockReportKey dedups diagnostics: a blocking operation inside a
+// shared helper is reported once per held lock, not once per locked
+// caller that reaches it.
+type lockReportKey struct {
+	pos token.Pos
+	key string
+}
+
+// lockChecker carries the per-package state of the lockscope walk: the
+// package's function declarations (for descending into same-package
+// callees while a lock is held) and the dedup set.
+type lockChecker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	reported map[lockReportKey]bool
+}
+
+// walk scans one function body in source order, tracking which mutexes
+// (keyed by receiver expression) are held. While at least one lock is
+// held, calls to same-package functions descend into the callee with
+// the held-set shared — matching the "fooLocked helper" idiom where the
+// blocking operation hides one call away — with visiting guarding
+// against recursion. Function literals start with a fresh held-set:
+// they run later, under whatever locks their call site holds, which
+// this source-order scan cannot see.
+func (c *lockChecker) walk(body *ast.BlockStmt, held map[string]heldLock, visiting map[*ast.FuncDecl]bool) {
+	pass := c.pass
+	info := pass.TypesInfo
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walk(n.Body, make(map[string]heldLock), visiting)
+			return false
+		case *ast.SendStmt:
+			if len(held) == 0 || nonBlockingSelectSend(n, stack) {
+				return true
+			}
+			for key, h := range held {
+				c.reportf(n.Arrow, key, "channel send may block while %s is held (%s at %s); send after unlocking or use a select with default", key, h.method, pass.Fset.Position(h.pos))
+			}
+		case *ast.CallExpr:
+			recv, method := mutexCall(info, n)
+			if recv != "" {
+				switch method {
+				case "Lock", "RLock":
+					held[recv] = heldLock{pos: n.Pos(), method: method}
+				case "Unlock", "RUnlock":
+					if !inDefer(stack) {
+						delete(held, recv)
+					}
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if desc := blockingCallDesc(info, n); desc != "" {
+				for key, h := range held {
+					c.reportf(n.Pos(), key, "%s blocks while %s is held (%s at %s); release the lock before the call", desc, key, h.method, pass.Fset.Position(h.pos))
+				}
+				return true
+			}
+			if fn := calleeFunc(info, n); fn != nil {
+				if fd := c.decls[fn]; fd != nil && !visiting[fd] {
+					visiting[fd] = true
+					c.walk(fd.Body, held, visiting)
+					visiting[fd] = false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportf emits one diagnostic per (position, lock) pair.
+func (c *lockChecker) reportf(pos token.Pos, key string, format string, args ...any) {
+	rk := lockReportKey{pos: pos, key: key}
+	if c.reported[rk] {
+		return
+	}
+	c.reported[rk] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// mutexCall reports whether the call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex (direct or promoted through embedding),
+// returning the receiver expression text and the method name.
+func mutexCall(info *types.Info, call *ast.CallExpr) (recv, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if name := recvTypeName(fn); name != "Mutex" && name != "RWMutex" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+// recvTypeName returns the name of fn's receiver type ("" for plain
+// functions), dereferencing a pointer receiver.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// blockingCallDesc classifies a call as a known blocking operation and
+// returns a printable description, or "".
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	switch funcPkgPath(fn) {
+	case "net/http":
+		recvName := recvTypeName(fn)
+		if recvName == "" {
+			switch fn.Name() {
+			case "Get", "Head", "Post", "PostForm":
+				return "http." + fn.Name()
+			}
+			return ""
+		}
+		switch fn.Name() {
+		case "Do", "Get", "Head", "Post", "PostForm", "RoundTrip":
+			return "(http." + recvName + ")." + fn.Name()
+		}
+	case "sync":
+		if fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup" {
+			return "(sync.WaitGroup).Wait"
+		}
+	case "os/exec":
+		if recvTypeName(fn) != "Cmd" {
+			return ""
+		}
+		switch fn.Name() {
+		case "Run", "Output", "CombinedOutput", "Wait":
+			return "(exec.Cmd)." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// nonBlockingSelectSend reports whether the send statement is the comm
+// clause of a select that has a default case — the non-blocking
+// try-send shape, which cannot stall the lock holder.
+func nonBlockingSelectSend(send *ast.SendStmt, stack []ast.Node) bool {
+	// Ancestors of the comm statement: ... SelectStmt, BlockStmt
+	// (select body), CommClause.
+	if len(stack) < 3 {
+		return false
+	}
+	cc, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || cc.Comm != ast.Stmt(send) {
+		return false
+	}
+	sel, ok := stack[len(stack)-3].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, s := range sel.Body.List {
+		if c, ok := s.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// inDefer reports whether the node at the top of the stack is the call
+// of a defer statement.
+func inDefer(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	_, ok := stack[len(stack)-1].(*ast.DeferStmt)
+	return ok
+}

@@ -1,0 +1,66 @@
+// Package atomicfield exercises the atomicfield analyzer: fields of
+// sync/atomic wrapper types may only be used through their methods or
+// by address, and plain fields addressed by sync/atomic functions
+// anywhere must be accessed that way everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Int64
+	mixed int64
+	plain int64
+}
+
+func (c *counters) typedOK() int64 {
+	c.hits.Add(1) // method receiver: fine
+	p := &c.hits  // address-of: fine
+	_ = p.Load()
+	return c.hits.Load()
+}
+
+func (c *counters) typedCopy() {
+	h := c.hits // want `field hits is atomic.Int64; use its atomic methods`
+	_ = h.Load()
+}
+
+func (c *counters) oldStyleAdd() {
+	atomic.AddInt64(&c.mixed, 1) // the atomic side of the mixed access
+}
+
+func (c *counters) mixedPlainRead() int64 {
+	return c.mixed // want `field mixed is accessed with sync/atomic.AddInt64 elsewhere in this package; this plain access races with it`
+}
+
+func (c *counters) plainOnly() int64 {
+	c.plain++ // never touched by sync/atomic: fine
+	return c.plain
+}
+
+type histo struct {
+	buckets [4]atomic.Uint64
+}
+
+func (h *histo) observe(i int) {
+	h.buckets[i].Add(1) // index-then-method: fine
+}
+
+func (h *histo) snapshot() [4]uint64 {
+	var out [4]uint64
+	for i := range h.buckets { // index-only range does not copy the array: fine
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+func (h *histo) tearCopy() [4]atomic.Uint64 {
+	return h.buckets // want `field buckets is an array of atomic.Uint64; use its atomic methods`
+}
+
+func (h *histo) tearRange() uint64 {
+	var sum uint64
+	for _, b := range h.buckets { // want `field buckets is an array of atomic.Uint64`
+		sum += b.Load()
+	}
+	return sum
+}

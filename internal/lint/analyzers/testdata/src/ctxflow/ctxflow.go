@@ -1,0 +1,50 @@
+// Package ctxflow exercises the ctxflow analyzer: a function that
+// receives a context.Context must thread it — no Background()/TODO()
+// detours, no nil contexts, no ignoring a FContext sibling.
+package ctxflow
+
+import "context"
+
+func leaf(ctx context.Context) error { return ctx.Err() }
+
+func lookup(key string) error { return nil }
+
+func lookupContext(ctx context.Context, key string) error { return leaf(ctx) }
+
+func good(ctx context.Context) error {
+	return leaf(ctx)
+}
+
+func detaches(ctx context.Context) error {
+	return leaf(context.Background()) // want `context.Background\(\) discards the in-scope context ctx`
+}
+
+func todoDetaches(ctx context.Context) error {
+	return leaf(context.TODO()) // want `context.TODO\(\) discards the in-scope context ctx`
+}
+
+func nilCtx(ctx context.Context) error {
+	return leaf(nil) // want `nil context passed to leaf; pass ctx instead`
+}
+
+func ignoresSibling(ctx context.Context) error {
+	return lookup("k") // want `lookup ignores the in-scope context ctx; call ctxflow.lookupContext instead`
+}
+
+func usesSibling(ctx context.Context) error {
+	return lookupContext(ctx, "k")
+}
+
+// root receives no context, so starting one is its job.
+func root() error {
+	return leaf(context.Background())
+}
+
+// spawn returns a function literal with its own context parameter; the
+// literal is checked against that inner context, not spawn's.
+func spawn(ctx context.Context) func(context.Context) error {
+	if err := leaf(ctx); err != nil {
+		return nil
+	}
+	return func(ctx context.Context) error { return leaf(ctx) }
+}

@@ -1,0 +1,43 @@
+// Package doccomment exercises the doccomment analyzer: every exported
+// identifier needs a doc comment; unexported ones and methods on
+// unexported types are exempt.
+package doccomment
+
+// Documented has a doc comment and passes.
+type Documented struct{}
+
+// Exported carries its doc comment.
+func Exported() {}
+
+func Missing() {} // want `exported function Missing lacks a doc comment`
+
+type Bare struct{} // want `exported type Bare lacks a doc comment`
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (Documented) Undoc() {} // want `exported method Undoc lacks a doc comment`
+
+type hidden struct{}
+
+// Methods on unexported types are outside the godoc surface.
+func (hidden) Whatever() {}
+
+func unexported() {}
+
+// MaxRetries is documented.
+const MaxRetries = 3
+
+var DefaultLimits = map[string]int{ // want `exported var/const DefaultLimits lacks a doc comment`
+	"queue": 10,
+}
+
+// Grouped constants share the block doc.
+const (
+	GroupA = 1
+	GroupB = 2
+)
+
+var TrailingDoc = 1 // TrailingDoc's line comment counts as documentation.
+
+var _ = unexported

@@ -1,0 +1,58 @@
+// Package errsentinel exercises the errsentinel analyzer: sentinel
+// errors must be matched with errors.Is, and error operands of
+// fmt.Errorf must be wrapped with %w.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrQueueFull is the fixture's sentinel error.
+var ErrQueueFull = errors.New("queue full")
+
+func compareEq(err error) bool {
+	return err == ErrQueueFull // want `comparison with ErrQueueFull misses wrapped errors; use errors.Is\(err, ErrQueueFull\)`
+}
+
+func compareNe(err error) bool {
+	return ErrQueueFull != err // want `comparison with ErrQueueFull misses wrapped errors`
+}
+
+func compareNilOK(err error) bool {
+	return err == nil // nil checks are fine
+}
+
+func matchOK(err error) bool {
+	return errors.Is(err, ErrQueueFull)
+}
+
+func classify(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrQueueFull: // want `switch case compares the error to ErrQueueFull with ==; use if/else with errors.Is\(err, ErrQueueFull\)`
+		return 1
+	}
+	return 2
+}
+
+func wrapV(err error) error {
+	return fmt.Errorf("enqueue: %v", err) // want `error formatted with %v loses the wrap chain; use %w so errors.Is still matches`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("enqueue: %s", err) // want `error formatted with %s loses the wrap chain`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("enqueue: %w", err)
+}
+
+func doubleWrapOK(err error) error {
+	return fmt.Errorf("%w: %w", ErrQueueFull, err)
+}
+
+func formatValueOK(n int) error {
+	return fmt.Errorf("bad count: %v", n) // non-error operand: %v is fine
+}

@@ -1,0 +1,107 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: functions
+// annotated //sdlint:hotpath must not allocate; unannotated functions
+// may do anything.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type state struct {
+	buf []int
+	m   map[int]int
+}
+
+//sdlint:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `hot path \(hotSliceLit\): slice literal allocates`
+}
+
+//sdlint:hotpath
+func hotMapLit() map[int]int {
+	return map[int]int{} // want `map literal allocates`
+}
+
+//sdlint:hotpath
+func hotMakeNew(n int) {
+	_ = make([]int, n) // want `make allocates`
+	_ = new(state)     // want `new allocates`
+}
+
+//sdlint:hotpath
+func hotCompositePtr() *state {
+	return &state{} // want `&composite literal allocates`
+}
+
+//sdlint:hotpath
+func hotClosure() func() {
+	return func() {} // want `function literal allocates a closure`
+}
+
+//sdlint:hotpath
+func hotGo() {
+	go helper() // want `go statement allocates a goroutine`
+}
+
+//sdlint:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//sdlint:hotpath
+func hotAppendGrow(xs []int) []int {
+	return append(xs, 1) // want `append result is not reassigned to its operand`
+}
+
+//sdlint:hotpath
+func hotAppendReuse(s *state, xs []int) {
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, xs...) // reuse shape: allowed
+}
+
+//sdlint:hotpath
+func hotFmt(v int) {
+	fmt.Println(v) // want `call to fmt.Println allocates \(formatting/boxing\)`
+}
+
+//sdlint:hotpath
+func hotErrorsNew() error {
+	return errors.New("boom") // want `errors.New allocates`
+}
+
+//sdlint:hotpath
+func hotBoxConversion(v int) any {
+	return any(v) // want `conversion to interface boxes int`
+}
+
+//sdlint:hotpath
+func hotBoxArg(v int) {
+	sink(v) // want `argument boxes int into interface parameter`
+}
+
+//sdlint:hotpath
+func hotBoxPointerOK(s *state) {
+	sink(s) // pointers are interface-shaped: no boxing allocation
+}
+
+//sdlint:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune to string conversion allocates`
+}
+
+//sdlint:hotpath
+func hotSliceConv(s string) []byte {
+	return []byte(s) // want `string to slice conversion allocates`
+}
+
+// cold is unannotated: every allocating construct is fine here.
+func cold() *state {
+	_ = fmt.Sprint(1)
+	go helper()
+	return &state{m: map[int]int{1: 2}}
+}
+
+func helper() {}
+
+func sink(v any) { _ = v }

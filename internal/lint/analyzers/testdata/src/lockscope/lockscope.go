@@ -1,0 +1,89 @@
+// Package lockscope exercises the lockscope analyzer: a held mutex must
+// not span an outbound HTTP call, subprocess wait, channel send, or
+// WaitGroup.Wait — including when the blocking call hides inside a
+// same-package helper invoked with the lock held.
+package lockscope
+
+import (
+	"net/http"
+	"os/exec"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	wg    sync.WaitGroup
+	peers []string
+}
+
+func (s *server) httpUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = http.Get(s.peers[0]) // want `http.Get blocks while s.mu is held`
+}
+
+func (s *server) httpAfterUnlock() {
+	s.mu.Lock()
+	peer := s.peers[0]
+	s.mu.Unlock()
+	_, _ = http.Get(peer)
+}
+
+func (s *server) clientDoUnderRLock(c *http.Client, req *http.Request) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, _ = c.Do(req) // want `\(http.Client\).Do blocks while s.rw is held`
+}
+
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send may block while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) trySendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // non-blocking try-send: fine
+	default:
+	}
+}
+
+func (s *server) waitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `\(sync.WaitGroup\).Wait blocks while s.mu is held`
+}
+
+func (s *server) waitAfterUnlock() {
+	s.mu.Lock()
+	n := len(s.peers)
+	s.mu.Unlock()
+	s.wg.Wait()
+	_ = n
+}
+
+// execViaHelper holds the lock across a same-package helper whose body
+// blocks on a subprocess — the diagnostic lands on the blocking call.
+func (s *server) execViaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runTool()
+}
+
+func (s *server) runTool() {
+	_ = exec.Command("true").Run() // want `\(exec.Cmd\).Run blocks while s.mu is held`
+}
+
+// goroutineBodyFresh: a function literal runs later, not under the
+// lock the spawning function holds at the go statement.
+func (s *server) goroutineBodyFresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.wg.Wait()
+	}()
+}

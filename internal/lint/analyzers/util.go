@@ -1,0 +1,162 @@
+// Package analyzers holds the repo-specific sdlint analysis passes: the
+// invariants the performance and correctness claims rest on (zero-alloc
+// hot paths, atomics-only counter access, threaded contexts, errors.Is
+// sentinel matching, lock scopes that never span blocking calls, and the
+// godoc contract) expressed as static checks over typed ASTs. Every
+// analyzer runs from `go test` (repo_test.go), from cmd/sdlint, and
+// under `go vet -vettool`; see docs/LINTS.md for the catalogue.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// modulePath is the import-path prefix of the module under analysis;
+// analyzers never fire outside it (fixture runs bypass filters).
+const modulePath = "strongdecomp"
+
+// inModule is the default analyzer filter.
+func inModule(pkgPath string) bool {
+	return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
+}
+
+// walkStack walks root depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first, excluding the node itself).
+// fn returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the defining package path of fn ("" for builtins
+// and universe-scope objects).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t is or implements error.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType) ||
+		types.Identical(t.Underlying(), errorType)
+}
+
+// isUntypedNil reports whether e is the predeclared nil.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// hasDirective reports whether the comment group contains the given
+// //sdlint: directive line (directives are invisible to Text(), so the
+// raw list is scanned).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsCtx reports whether the signature's first parameter is a
+// context.Context.
+func firstParamIsCtx(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 && isCtxType(sig.Params().At(0).Type())
+}
+
+// signatureAcceptsCtx reports whether any parameter is a context.Context.
+func signatureAcceptsCtx(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramTypeAt returns the effective type of the i'th argument's
+// parameter, unwrapping the variadic element type when the call does
+// not forward a slice with `...`; nil when i is out of range.
+func paramTypeAt(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	switch {
+	case i < n-1 || (!sig.Variadic() && i < n):
+		return sig.Params().At(i).Type()
+	case sig.Variadic():
+		last := sig.Params().At(n - 1).Type()
+		if hasEllipsis {
+			return last
+		}
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+	}
+	return nil
+}
+
+// All returns the complete sdlint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		AtomicField,
+		CtxFlow,
+		ErrSentinel,
+		LockScope,
+		DocComment,
+	}
+}

@@ -1,7 +1,17 @@
-// Package lint holds the repository's self-contained static checks. The
-// only current check is the doc-comment lint (doccheck_test.go): every
-// exported identifier in the public facade and the core internal packages
-// (graph, graphio, service and its httpapi) must carry a godoc comment.
-// It runs as an ordinary test, so `go test ./...` — and therefore CI —
-// enforces it without external linter dependencies.
+// Package lint holds the repository's self-contained static checks,
+// built without external linter dependencies so `go test ./...` — and
+// therefore CI — enforces them everywhere.
+//
+// The checks are go/analysis-style passes under internal/lint/analyzers,
+// running on the mini framework in internal/lint/analysis with the
+// source-based loader in internal/lint/driver. They run three ways:
+// as ordinary tests (the analysistest fixtures plus the whole-repo
+// TestRepoCleanUnderSdlint in internal/lint/analyzers), as a standalone
+// command (`go run ./cmd/sdlint ./...`), and as a vet tool
+// (`go vet -vettool=$(pwd)/bin/sdlint ./...`). See docs/LINTS.md for
+// the analyzer catalogue and the //sdlint:hotpath annotation grammar.
+//
+// This package keeps the legacy doc-comment entry point
+// (TestExportedIdentifiersHaveDocComments), which now delegates to the
+// doccomment analyzer.
 package lint

@@ -1,140 +1,44 @@
 package lint
 
-// The doc-comment lint: a revive/golint-style "exported" rule implemented
-// over go/ast so it needs no external tool. It walks the packages named
-// below and reports every exported declaration — functions, methods,
-// types, and top-level var/const specs — that lacks a doc comment. Group
-// docs count for grouped specs, as gofmt idiom allows.
+// The doc-comment lint's legacy entry point. The rule itself now lives
+// in the analyzer suite (internal/lint/analyzers.DocComment), where it
+// also runs under `go vet -vettool=sdlint` and carries analysistest
+// fixtures; this test keeps the long-standing name CI and contributors
+// know while delegating to the analyzer, so there is exactly one
+// implementation of the rule. Coverage is the docLintPackages allowlist
+// in internal/lint/analyzers/doccomment.go.
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"path/filepath"
-	"strings"
 	"testing"
+
+	"strongdecomp/internal/lint/analysis"
+	"strongdecomp/internal/lint/analyzers"
+	"strongdecomp/internal/lint/driver"
 )
 
-// lintedDirs are the packages the godoc contract covers, relative to the
-// repository root: the public facade plus the persistence-era core.
-var lintedDirs = []string{
-	".",
-	"internal/graph",
-	"internal/graphio",
-	"internal/obs",
-	"internal/service",
-	"internal/service/httpapi",
-	"internal/shard",
-}
-
-// repoRoot walks up from the working directory to the directory holding
-// go.mod.
-func repoRoot(t *testing.T) string {
-	t.Helper()
-	dir, err := os.Getwd()
+// TestExportedIdentifiersHaveDocComments is the lint entry point: every
+// exported identifier in the packages covered by the godoc contract must
+// carry a doc comment.
+func TestExportedIdentifiersHaveDocComments(t *testing.T) {
+	wd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			t.Fatal("go.mod not found above working directory")
-		}
-		dir = parent
+	root, err := driver.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-// TestExportedIdentifiersHaveDocComments is the lint entry point.
-func TestExportedIdentifiersHaveDocComments(t *testing.T) {
-	root := repoRoot(t)
-	var missing []string
-	for _, rel := range lintedDirs {
-		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, filepath.Join(root, rel), func(fi os.FileInfo) bool {
-			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("%s: %v", rel, err)
-		}
-		for _, pkg := range pkgs {
-			for _, file := range pkg.Files {
-				missing = append(missing, checkFile(fset, file)...)
-			}
-		}
+	ld := driver.NewLoader(root)
+	units, err := ld.Load("./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
 	}
-	if len(missing) > 0 {
-		t.Errorf("%d exported identifiers lack doc comments:\n  %s",
-			len(missing), strings.Join(missing, "\n  "))
+	diags, err := driver.Run(ld.Fset, units, []*analysis.Analyzer{analyzers.DocComment})
+	if err != nil {
+		t.Fatalf("run doccomment: %v", err)
 	}
-}
-
-// checkFile reports undocumented exported declarations in one file.
-func checkFile(fset *token.FileSet, file *ast.File) []string {
-	var missing []string
-	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", filepath.Base(p.Filename), p.Line, kind, name))
-	}
-	for _, decl := range file.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if d.Name.IsExported() && d.Doc.Text() == "" && exportedRecv(d) {
-				kind := "function"
-				if d.Recv != nil {
-					kind = "method"
-				}
-				report(d.Pos(), kind, d.Name.Name)
-			}
-		case *ast.GenDecl:
-			groupDoc := d.Doc.Text() != ""
-			for _, spec := range d.Specs {
-				switch s := spec.(type) {
-				case *ast.TypeSpec:
-					if s.Name.IsExported() && s.Doc.Text() == "" && !groupDoc {
-						report(s.Pos(), "type", s.Name.Name)
-					}
-				case *ast.ValueSpec:
-					// A group doc ("// Typed errors of ...") covers every
-					// spec in the block; otherwise each exported spec needs
-					// its own comment (doc or trailing line comment).
-					documented := groupDoc || s.Doc.Text() != "" || s.Comment.Text() != ""
-					for _, name := range s.Names {
-						if name.IsExported() && !documented {
-							report(s.Pos(), "var/const", name.Name)
-						}
-					}
-				}
-			}
-		}
-	}
-	return missing
-}
-
-// exportedRecv reports whether a method's receiver type is exported (an
-// unexported type's methods are not part of the public godoc surface).
-// Plain functions always count.
-func exportedRecv(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	t := d.Recv.List[0].Type
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr: // generic receiver lru[K, V]
-			t = x.X
-		case *ast.IndexListExpr:
-			t = x.X
-		case *ast.Ident:
-			return x.IsExported()
-		default:
-			return true
-		}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,409 @@
+// Package driver loads and typechecks Go packages for the sdlint
+// analyzer suite without golang.org/x/tools: package metadata comes from
+// `go list -deps -test -json` and every package in the dependency
+// closure — standard library included — is typechecked from source with
+// go/parser and go/types. The one-time cost (a couple of seconds for
+// this module and its stdlib closure) buys a loader with no dependency
+// on export data, GOPATH layout, or network access, so the same code
+// runs inside `go test`, inside cmd/sdlint's standalone mode, and under
+// the analysistest fixture runner.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes. Test-augmented variants carry a bracketed ImportPath
+// ("pkg [pkg.test]") and set ForTest.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// Package is one typechecked unit ready for analysis. Test-augmented
+// units keep their bracketed import path; PkgPath is always the plain
+// path analyzers should filter on.
+type Package struct {
+	// ImportPath is the unit identity, bracketed for test variants.
+	ImportPath string
+	// PkgPath is the unbracketed import path.
+	PkgPath string
+	// Module reports whether the unit belongs to the analyzed module
+	// (drivers run analyzers only over module units).
+	Module bool
+	// Files are the parsed syntax trees, comments included.
+	Files []*ast.File
+	// Types is the typechecked package object.
+	Types *types.Package
+	// Info holds the type-checker maps for Files.
+	Info *types.Info
+}
+
+// Loader typechecks `go list` closures from source, caching typechecked
+// packages across calls. Safe for concurrent use.
+type Loader struct {
+	// Dir is where `go list` runs; it must be inside the target module.
+	Dir string
+	// Fset is shared by every file the loader parses.
+	Fset *token.FileSet
+
+	mu     sync.Mutex
+	listed map[string]*listedPackage
+	typed  map[string]*types.Package
+	units  map[string]*Package
+}
+
+// NewLoader returns a loader rooted at dir (the module root, or any
+// directory inside the module).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:    dir,
+		Fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPackage),
+		typed:  map[string]*types.Package{"unsafe": types.Unsafe},
+		units:  make(map[string]*Package),
+	}
+}
+
+// Load lists patterns (with -deps -test) and returns the typechecked
+// module units among the matched packages: for each plain package with a
+// test-augmented variant, only the augmented unit is returned (it is a
+// strict superset), plus any external-test (xtest) units.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	// The `go list` subprocess runs before the lock is taken: the loader
+	// is shared process-wide (analysistest funnels every fixture package
+	// through one instance) and the per-import callback in LoadImports
+	// contends on the same mutex, so holding it across a multi-hundred-
+	// millisecond subprocess would stall all concurrent typechecking.
+	lps, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.merge(lps)
+	// Collect candidate unit paths first so map iteration order cannot
+	// influence typecheck error reporting.
+	var paths []string
+	for path, lp := range l.listed {
+		if lp.Standard || strings.HasSuffix(path, ".test") {
+			continue
+		}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	augmented := make(map[string]bool)
+	for _, path := range paths {
+		if ft := l.listed[path].ForTest; ft != "" && path != ft {
+			augmented[ft] = true
+		}
+	}
+	var out []*Package
+	for _, path := range paths {
+		if augmented[path] {
+			continue // the bracketed variant supersedes this unit
+		}
+		u, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// LoadImports typechecks the listed import paths (and their closure) and
+// returns an importer resolving them — the analysistest hook: fixture
+// packages import only what this importer can see.
+func (l *Loader) LoadImports(paths ...string) (types.Importer, error) {
+	l.mu.Lock()
+	var need []string
+	for _, p := range paths {
+		if p != "unsafe" && l.listed[p] == nil {
+			need = append(need, p)
+		}
+	}
+	l.mu.Unlock()
+	// As in Load, the subprocess runs outside the critical section; merge
+	// discards entries another caller listed in the meantime.
+	if len(need) > 0 {
+		lps, err := l.list(need)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.merge(lps)
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range paths {
+		if _, err := l.ensureTypes(p); err != nil {
+			return nil, err
+		}
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.ensureTypes(path)
+	}), nil
+}
+
+// list runs `go list -deps -test -json` and decodes the units. It takes
+// no locks — callers merge the result under l.mu. CGO_ENABLED=0 keeps
+// every file in the closure plain Go, so source typechecking needs no
+// cgo preprocessing.
+func (l *Loader) list(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-test",
+		"-json=Dir,ImportPath,Name,Standard,ForTest,GoFiles,Imports,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var lps []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		lps = append(lps, lp)
+	}
+	return lps, nil
+}
+
+// merge records listed units, first listing wins: an import path already
+// present (listed by a concurrent caller, possibly already typechecked)
+// is never replaced. Caller holds l.mu.
+func (l *Loader) merge(lps []*listedPackage) {
+	for _, lp := range lps {
+		if l.listed[lp.ImportPath] == nil {
+			l.listed[lp.ImportPath] = lp
+		}
+	}
+}
+
+// ensure typechecks the unit (and, recursively, its imports) and caches
+// the result. Caller holds l.mu.
+func (l *Loader) ensure(path string) (*Package, error) {
+	if u := l.units[path]; u != nil {
+		return u, nil
+	}
+	lp := l.listed[path]
+	if lp == nil {
+		return nil, fmt.Errorf("package %q not listed", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := l.check(lp, files, info)
+	if err != nil {
+		return nil, err
+	}
+	u := &Package{
+		ImportPath: path,
+		PkgPath:    plainPath(path),
+		Module:     !lp.Standard,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.units[path] = u
+	l.typed[path] = tpkg
+	return u, nil
+}
+
+// ensureTypes typechecks a unit for its exported type information only
+// (no syntax retained — the dependency half of ensure). Caller holds l.mu.
+//
+// Module packages delegate to ensure: a path must never be typechecked
+// twice (once as a dependency, once as a unit), or the two
+// *types.Package instances fork the import graph's type identities and
+// later units see "cannot use X (type T) as T" conflicts.
+func (l *Loader) ensureTypes(path string) (*types.Package, error) {
+	if tp := l.typed[path]; tp != nil {
+		return tp, nil
+	}
+	lp := l.listed[path]
+	if lp == nil {
+		return nil, fmt.Errorf("package %q not listed", path)
+	}
+	if !lp.Standard {
+		u, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Types, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	tpkg, err := l.check(lp, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[path] = tpkg
+	return tpkg, nil
+}
+
+// check runs the type checker over one unit, resolving imports through
+// the loader (recursively typechecking them first).
+func (l *Loader) check(lp *listedPackage, files []*ast.File, info *types.Info) (*types.Package, error) {
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return l.ensureTypes(path)
+	})
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(plainPath(lp.ImportPath), l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("typecheck %s: %w (and %d more)", lp.ImportPath, errs[0], len(errs)-1)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	return tpkg, nil
+}
+
+// plainPath strips the test-variant bracket suffix:
+// "pkg [pkg.test]" -> "pkg".
+func plainPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Diagnostic is one analyzer finding resolved to a file position.
+type Diagnostic struct {
+	// Analyzer names the reporting analyzer.
+	Analyzer string
+	// Pos is the resolved source position.
+	Pos token.Position
+	// Message is the finding text.
+	Message string
+}
+
+// String renders the diagnostic as file:line:col: message [analyzer].
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run executes the analyzers over the units, honoring each analyzer's
+// Filter, and returns the deduplicated findings sorted by position.
+// Only module units are analyzed.
+func Run(fset *token.FileSet, units []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	seen := make(map[string]bool)
+	var out []Diagnostic
+	for _, u := range units {
+		if !u.Module {
+			continue
+		}
+		for _, a := range analyzers {
+			if a.Filter != nil && !a.Filter(u.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Types,
+				TypesInfo: u.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				key := fmt.Sprintf("%s|%s|%d|%d|%s", a.Name, pos.Filename, pos.Line, pos.Column, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				out = append(out, Diagnostic{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,217 @@
+// The `go vet -vettool` protocol. cmd/go drives an external vet tool one
+// compilation unit at a time: it first queries `tool -V=full` (a version
+// line that keys the build cache) and `tool -flags` (a JSON description
+// of accepted flags), then invokes `tool <unit>.cfg` per package with a
+// JSON config naming the unit's files and the export-data files of its
+// already-compiled imports. This file implements that contract the same
+// way x/tools' unitchecker does, minus cross-package facts — none of the
+// repo's analyzers need them — so dependency units (VetxOnly) only write
+// their (empty) facts file and exit.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"strongdecomp/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON emitted by cmd/go for each vet unit; fields
+// this driver does not consume are omitted (unknown JSON fields are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// VettoolMain implements the full vettool side of the protocol and
+// returns the process exit code: 0 clean, 1 on tool failure, 2 when
+// diagnostics were reported (cmd/go surfaces stderr and fails the vet
+// run on any nonzero exit).
+func VettoolMain(progname string, args []string, analyzers []*analysis.Analyzer) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// cmd/go parses this as "<name> version <non-devel-id>" and
+			// folds it into the cache key, so embed the binary's own
+			// content hash: a rebuilt sdlint invalidates cached verdicts.
+			fmt.Printf("%s version %s\n", progname, selfID())
+			return 0
+		case "-flags", "--flags":
+			// No pass-through flags; cmd/go only needs a valid JSON reply.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected a single vet config file, got %q (run via go vet -vettool, or pass package patterns)\n", progname, args)
+		return 1
+	}
+	code, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	return code
+}
+
+// runUnit analyzes one vet unit described by the config file.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("%s: %w", cfgFile, err)
+	}
+	// The facts file must exist for cmd/go's bookkeeping even though the
+	// suite passes no facts between units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sdlint: no facts\n"), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil // a dependency unit: facts only, no diagnostics
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already compiled,
+	// exactly as the real vet does.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, envOr("GOARCH", runtime.GOARCH)),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(plainPath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+
+	unit := &Package{
+		ImportPath: cfg.ImportPath,
+		PkgPath:    plainPath(cfg.ImportPath),
+		Module:     true, // cmd/go only emits non-VetxOnly units for the vetted packages
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := Run(fset, []*Package{unit}, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	return 2, nil
+}
+
+// selfID returns a content identifier for the running binary so that
+// cmd/go's vet result cache is keyed by the actual tool build; a fixed
+// fallback keeps -V=full functional if the executable cannot be read.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "sdlint-unversioned"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "sdlint-unversioned"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "sdlint-unversioned"
+	}
+	return fmt.Sprintf("sdlint-%x", h.Sum(nil)[:12])
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}

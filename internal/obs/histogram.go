@@ -38,6 +38,8 @@ type Histogram struct {
 
 // Observe folds one duration into the histogram: two atomic adds and one
 // atomic increment, no locks, no allocations.
+//
+//sdlint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {

