@@ -14,6 +14,11 @@
 // the server exports, so client-observed and server-observed percentiles
 // are directly comparable.
 //
+// A mix entry may name a served application (mis, coloring, diameter, or
+// spanner) instead of an algorithm; such entries drive POST
+// /v2/apps/{app} against the uploaded graph, exercising the app cache
+// and the decomposition amortization path underneath it.
+//
 // Usage:
 //
 //	loadgen -target http://localhost:8080 -rps 50 -duration 10s \
@@ -39,6 +44,7 @@ import (
 	"strongdecomp"
 	"strongdecomp/internal/graphio"
 	"strongdecomp/internal/obs"
+	"strongdecomp/internal/service"
 )
 
 func main() {
@@ -48,9 +54,12 @@ func main() {
 	}
 }
 
-// mix is one workload slot: an algorithm run against one uploaded graph.
+// mix is one workload slot: an algorithm or served application run
+// against one uploaded graph. app is true when algo names an
+// application (requests go to /v2/apps/{algo} instead of /v1/decompose).
 type mix struct {
 	algo string
+	app  bool
 	gen  string
 	n    int
 	hash string
@@ -62,21 +71,30 @@ type mix struct {
 }
 
 // parseMixes parses the -mix list: comma-separated algo:family:n entries.
+// The first field may also name a served application (see service.Apps);
+// app entries are checked against the app roster instead of the
+// algorithm registry.
 func parseMixes(spec string) ([]*mix, error) {
+	apps := make(map[string]bool)
+	for _, a := range service.Apps() {
+		apps[a] = true
+	}
 	var out []*mix
 	for _, entry := range strings.Split(spec, ",") {
 		parts := strings.Split(strings.TrimSpace(entry), ":")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("mix entry %q: want algo:family:n", entry)
+			return nil, fmt.Errorf("mix entry %q: want algo:family:n or app:family:n", entry)
 		}
 		n, err := strconv.Atoi(parts[2])
 		if err != nil || n <= 0 {
 			return nil, fmt.Errorf("mix entry %q: bad node count", entry)
 		}
-		if _, err := strongdecomp.Lookup(parts[0]); err != nil {
-			return nil, err
+		if !apps[parts[0]] {
+			if _, err := strongdecomp.Lookup(parts[0]); err != nil {
+				return nil, err
+			}
 		}
-		out = append(out, &mix{algo: parts[0], gen: parts[1], n: n})
+		out = append(out, &mix{algo: parts[0], app: apps[parts[0]], gen: parts[1], n: n})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty -mix")
@@ -111,7 +129,7 @@ func run() error {
 		target   = flag.String("target", "http://localhost:8080", "base URL of the serve instance")
 		rps      = flag.Float64("rps", 50, "open-loop arrival rate, requests per second")
 		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
-		mixSpec  = flag.String("mix", "chang-ghaffari:grid:400,sequential:gnp:300", "comma-separated algo:family:n workload mixes")
+		mixSpec  = flag.String("mix", "chang-ghaffari:grid:400,sequential:gnp:300", "comma-separated algo:family:n workload mixes; the first field may name a served app (mis|coloring|diameter|spanner) to drive /v2/apps/{app}")
 		seeds    = flag.Int("seeds", 8, "distinct seeds rotated per mix (controls the cache hit/compute blend)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
 		out      = flag.String("out", "", "write the JSON report here (empty: stdout)")
@@ -198,13 +216,19 @@ func upload(client *http.Client, target string, m *mix) (string, error) {
 	return doc.Hash, nil
 }
 
-// fire sends one decompose request and folds the observed latency (or an
-// error) into the mix's stats.
+// fire sends one decompose (or application) request and folds the
+// observed latency (or an error) into the mix's stats.
 func fire(client *http.Client, target string, m *mix, seed int64) {
 	m.sent.Add(1)
-	body, _ := json.Marshal(map[string]any{"hash": m.hash, "algo": m.algo, "seed": seed})
+	url := target + "/v1/decompose"
+	payload := map[string]any{"hash": m.hash, "algo": m.algo, "seed": seed}
+	if m.app {
+		url = target + "/v2/apps/" + m.algo
+		payload = map[string]any{"hash": m.hash, "seed": seed}
+	}
+	body, _ := json.Marshal(payload)
 	start := time.Now()
-	resp, err := client.Post(target+"/v1/decompose", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	d := time.Since(start)
 	if err != nil {
 		m.errors.Add(1)

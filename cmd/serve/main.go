@@ -18,6 +18,8 @@
 //	GET    /v2/jobs/{id}         job state machine snapshot
 //	DELETE /v2/jobs/{id}         cancel by ID
 //	GET    /v2/jobs/{id}/result  result; ?stream=1 for NDJSON cluster streaming
+//	POST   /v2/apps/{app}        run a served application (mis|coloring|diameter|spanner)
+//	                             over a stored graph's cached decomposition
 //
 // With -data-dir the service is persistent: uploaded graphs spill to
 // binary CSR snapshots and computed results to JSON records under that
@@ -35,6 +37,7 @@
 //
 //	serve -addr :8080 [-algo chang-ghaffari] [-workers 8] [-cache 256] [-timeout 30s]
 //	      [-job-queue 64] [-job-workers 2] [-job-ttl 15m] [-data-dir /var/lib/strongdecomp]
+//	      [-app-cache 256] [-strict]
 //	      [-debug-addr localhost:6060] [-log-level info]
 //	      [-shard-id a -cluster-peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
 //	       -cluster-secret token]
@@ -89,6 +92,9 @@ func run() error {
 		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job results; also bounds the shutdown job drain")
 
 		dataDir = flag.String("data-dir", "", "persist graphs (binary CSR snapshots) and results under this directory; a restart serves them without re-upload or recomputation")
+
+		appCache = flag.Int("app-cache", 256, "served-application result-cache entries (negative: disable app caching)")
+		strict   = flag.Bool("strict", false, "verify every application result before serving it; failed disk records are quarantined and recomputed")
 
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty: disabled); keep it off the public address")
 		logLevel  = flag.String("log-level", "info", "minimum slog level for the JSON log stream: debug|info|warn|error (spans emit at info)")
@@ -156,6 +162,8 @@ func run() error {
 		strongdecomp.WithServiceJobTTL(*jobTTL),
 		strongdecomp.WithServiceDataDir(*dataDir),
 		strongdecomp.WithServiceClusterHooks(hooks),
+		strongdecomp.WithServiceAppCacheSize(*appCache),
+		strongdecomp.WithServiceStrictApps(*strict),
 	)
 	if err != nil {
 		return err

@@ -12,10 +12,12 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"strongdecomp/internal/cluster"
 	"strongdecomp/internal/graph"
+	"strongdecomp/internal/registry"
 	"strongdecomp/internal/rounds"
 )
 
@@ -24,6 +26,14 @@ import (
 // the decomposition. It returns the membership vector and charges the
 // simulated schedule cost to the meter.
 func MIS(g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]bool, error) {
+	return MISContext(context.Background(), g, d, m)
+}
+
+// MISContext is MIS with cancellation: the color-by-color main loop
+// checks ctx between colors, so a served app run honors request timeouts
+// and job cancellation. A canceled run fails with an error matching
+// registry.ErrCanceled.
+func MISContext(ctx context.Context, g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]bool, error) {
 	if len(d.Assign) != g.N() {
 		return nil, fmt.Errorf("apps: decomposition size %d vs graph %d", len(d.Assign), g.N())
 	}
@@ -31,6 +41,9 @@ func MIS(g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]bool, err
 	decided := make([]bool, g.N())
 	members := d.Members()
 	for color := 0; color < d.Colors; color++ {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		maxDiam := 0
 		for cl := 0; cl < d.K; cl++ {
 			if d.Color[cl] != color {
@@ -94,6 +107,13 @@ func VerifyMIS(g *graph.Graph, inMIS []bool) error {
 // smallest palette color not used by an already-colored neighbor. Since a
 // node has at most Δ neighbors, Δ+1 colors always suffice.
 func ColorGraph(g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]int, error) {
+	return ColorGraphContext(context.Background(), g, d, m)
+}
+
+// ColorGraphContext is ColorGraph with cancellation: the color-by-color
+// main loop checks ctx between colors. A canceled run fails with an error
+// matching registry.ErrCanceled.
+func ColorGraphContext(ctx context.Context, g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]int, error) {
 	if len(d.Assign) != g.N() {
 		return nil, fmt.Errorf("apps: decomposition size %d vs graph %d", len(d.Assign), g.N())
 	}
@@ -104,6 +124,9 @@ func ColorGraph(g *graph.Graph, d *cluster.Decomposition, m *rounds.Meter) ([]in
 	members := d.Members()
 	palette := make([]bool, g.MaxDegree()+2)
 	for color := 0; color < d.Colors; color++ {
+		if err := registry.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		maxDiam := 0
 		for cl := 0; cl < d.K; cl++ {
 			if d.Color[cl] != color {

@@ -123,6 +123,49 @@ func TestVerifyColoringCatchesViolations(t *testing.T) {
 	}
 }
 
+func TestVerifyMISOnDisconnectedGraphs(t *testing.T) {
+	// union: path 0-1-2, isolated node 3, edge 4-5
+	g := graph.DisjointUnion(graph.Path(3), graph.Path(1), graph.Path(2))
+	if err := VerifyMIS(g, []bool{true, false, true, true, true, false}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	// Isolated nodes must always be in the MIS.
+	if err := VerifyMIS(g, []bool{true, false, true, false, true, false}); err == nil {
+		t.Fatal("MIS omitting an isolated node accepted")
+	}
+	// An adjacent pair in a far component must still be caught.
+	if err := VerifyMIS(g, []bool{true, false, true, true, true, true}); err == nil {
+		t.Fatal("adjacent pair in MIS accepted")
+	}
+	// Non-maximality confined to one component must still be caught.
+	if err := VerifyMIS(g, []bool{true, false, false, true, true, false}); err == nil {
+		t.Fatal("non-maximal MIS accepted")
+	}
+	// Length mismatch is a shape error, not a pass.
+	if err := VerifyMIS(g, []bool{true, false}); err == nil {
+		t.Fatal("short membership vector accepted")
+	}
+}
+
+func TestVerifyColoringOnDisconnectedGraphs(t *testing.T) {
+	g := graph.DisjointUnion(graph.Cycle(4), graph.Path(1), graph.Path(3))
+	if err := VerifyColoring(g, []int{0, 1, 0, 1, 0, 0, 1, 0}, g.MaxDegree()+1); err != nil {
+		t.Fatalf("valid coloring rejected: %v", err)
+	}
+	// Negative and overflowing colors anywhere — including the isolated
+	// node — are out of range.
+	if err := VerifyColoring(g, []int{0, 1, 0, 1, -1, 0, 1, 0}, g.MaxDegree()+1); err == nil {
+		t.Fatal("negative color accepted")
+	}
+	if err := VerifyColoring(g, []int{0, 1, 0, 1, 7, 0, 1, 0}, g.MaxDegree()+1); err == nil {
+		t.Fatal("color above palette accepted")
+	}
+	// An improper edge inside the last component must still be caught.
+	if err := VerifyColoring(g, []int{0, 1, 0, 1, 0, 0, 1, 1}, g.MaxDegree()+1); err == nil {
+		t.Fatal("improper edge in far component accepted")
+	}
+}
+
 func TestScheduleCostPositive(t *testing.T) {
 	g := graph.Cycle(128)
 	d := decompose(t, g)

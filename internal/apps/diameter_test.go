@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"testing"
+
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/rounds"
+)
+
+func TestDiameterApproxKnownFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path-100", graph.Path(100), 99},
+		{"cycle-64", graph.Cycle(64), 32},
+		{"grid-8x9", graph.Grid(8, 9), 15},
+		{"star-30", graph.Star(30), 2},
+		{"union", graph.DisjointUnion(graph.Path(50), graph.Cycle(20)), 49},
+		{"singleton", graph.Path(1), 0},
+	}
+	for _, tc := range cases {
+		m := rounds.NewMeter()
+		if got := DiameterApprox(tc.g, m); got != tc.want {
+			t.Errorf("%s: DiameterApprox = %d, want %d", tc.name, got, tc.want)
+		}
+		if m.Component("apps/diameter") == 0 {
+			t.Errorf("%s: no rounds charged", tc.name)
+		}
+	}
+}
+
+func TestDiameterApproxChargesTwoSweeps(t *testing.T) {
+	g := graph.Path(100)
+	m := rounds.NewMeter()
+	diam := DiameterApprox(g, m)
+	if want := 2*int64(diam) + 2; m.Component("apps/diameter") != want {
+		t.Fatalf("charged %d rounds, want %d", m.Component("apps/diameter"), want)
+	}
+}
+
+func TestDiameterApproxZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; alloc counts are nondeterministic")
+	}
+	g := graph.ConnectedGnp(256, 0.05, 1)
+	DiameterApprox(g, nil) // warm the pooled scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		DiameterApprox(g, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("DiameterApprox allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package apps
+
+// raceEnabled reports whether the race detector is active — same split
+// as the root package's race_off_test.go/race_on_test.go pair: the
+// plain run executes the AllocsPerRun guards, the -race run skips them
+// (sync.Pool intentionally drops items under -race, making alloc counts
+// nondeterministic) and covers everything else with the detector.
+const raceEnabled = false

@@ -201,6 +201,87 @@ func (s *Scratch) StrongDiameter(g *Graph, nodes []int) int {
 	return diam
 }
 
+// DiameterApprox is the linear-time 2-sweep diameter approximation over
+// the alive subgraph (nil alive means all nodes): for each connected
+// component, one BFS finds a far node and a second BFS from it reports
+// that node's eccentricity. The returned value is the maximum over
+// components — a lower bound on the true diameter, which is at most
+// twice it. Total work is O(n + m) regardless of how many components the
+// subgraph splits into, and steady-state allocations are zero: all
+// traversal state lives in the scratch.
+func (s *Scratch) DiameterApprox(g *Graph, alive []bool) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	gen := s.grow(n)
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+	}
+	dist := s.dist[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	return s.diameterSweep(g, alive, dist, gen)
+}
+
+// diameterSweep is DiameterApprox's allocation-free core. On entry the
+// scratch is grown, dist[v] == -1 for every v, and gen is a fresh mark
+// generation; each component is swept exactly once (marked nodes are
+// skipped) and dist's all-minus-one invariant is restored between sweeps
+// by touching only the nodes the sweep visited.
+//
+//sdlint:hotpath
+func (s *Scratch) diameterSweep(g *Graph, alive []bool, dist []int, gen int64) int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		if s.mark[v] == gen || (alive != nil && !alive[v]) {
+			continue
+		}
+		order := s.bfsSweep(g, alive, v, dist)
+		for _, u := range order {
+			s.mark[u] = gen
+			dist[u] = -1
+		}
+		far := order[len(order)-1]
+		order = s.bfsSweep(g, alive, far, dist)
+		last := order[len(order)-1]
+		if dist[last] > diam {
+			diam = dist[last]
+		}
+		for _, u := range order {
+			dist[u] = -1
+		}
+	}
+	return diam
+}
+
+// bfsSweep is the single-source variant of Scratch.BFS backing the
+// 2-sweep: identical traversal, but it skips BFS's O(n) distance reset —
+// the caller guarantees dist[v] == -1 for every reachable v and restores
+// that invariant afterward — so a sweep costs only its own component.
+// The returned visit order aliases the scratch queue and is only valid
+// until the next use of s.
+//
+//sdlint:hotpath
+func (s *Scratch) bfsSweep(g *Graph, alive []bool, src int, dist []int) []int {
+	queue := s.queue[:0]
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] != -1 || (alive != nil && !alive[v]) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	s.queue = queue[:0]
+	return queue
+}
+
 // scratchPool backs the package-level convenience functions (IsConnected,
 // InducedSubgraph, StrongDiameter), so even scratch-less callers reuse
 // traversal state across calls.

@@ -21,6 +21,7 @@ var docLintPackages = map[string]bool{
 	modulePath + "/cmd/serve":                  true,
 	modulePath + "/cmd/tables":                 true,
 	modulePath + "/cmd/verify":                 true,
+	modulePath + "/internal/apps":              true,
 	modulePath + "/internal/cluster":           true,
 	modulePath + "/internal/graph":             true,
 	modulePath + "/internal/graphio":           true,

@@ -24,6 +24,7 @@ type Collector struct {
 	logger     *slog.Logger
 	endpoints  HistogramVec
 	algorithms HistogramVec
+	apps       HistogramVec
 	inFlight   atomic.Int64
 }
 
@@ -41,6 +42,10 @@ func (c *Collector) Endpoints() *HistogramVec { return &c.endpoints }
 
 // Algorithms returns the per-algorithm compute-latency histograms.
 func (c *Collector) Algorithms() *HistogramVec { return &c.algorithms }
+
+// Apps returns the per-application run-latency histograms (cache hits
+// excluded, decomposition resolution excluded).
+func (c *Collector) Apps() *HistogramVec { return &c.apps }
 
 // InFlight returns the number of requests currently inside Middleware.
 func (c *Collector) InFlight() int64 { return c.inFlight.Load() }
@@ -110,6 +115,8 @@ func endpointLabel(r *http.Request) string {
 		return r.Method + " /v2/jobs/{id}/result"
 	case strings.HasPrefix(path, "/v2/jobs/"):
 		return r.Method + " /v2/jobs/{id}"
+	case strings.HasPrefix(path, "/v2/apps/"):
+		return r.Method + " /v2/apps/{app}"
 	case strings.HasPrefix(path, "/internal/"):
 		return r.Method + " /internal"
 	case strings.HasPrefix(path, "/debug/pprof"):

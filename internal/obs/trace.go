@@ -208,3 +208,11 @@ func ObserveAlgorithm(ctx context.Context, algo string, d time.Duration) {
 		c.algorithms.Observe(algo, d)
 	}
 }
+
+// ObserveApp records one application run's latency into the per-app
+// histogram of the collector on ctx (no-op without one).
+func ObserveApp(ctx context.Context, app string, d time.Duration) {
+	if c := CollectorFrom(ctx); c != nil {
+		c.apps.Observe(app, d)
+	}
+}

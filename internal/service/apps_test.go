@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strongdecomp/internal/apps"
+	"strongdecomp/internal/graph"
+	"strongdecomp/internal/graphio"
+)
+
+// TestServiceAppAmortization is the acceptance check of the applications
+// tier: running mis and then coloring over the same graph resolves the
+// underlying decomposition exactly once — the second app rides the
+// decomposition cache — and a repeated app request is an app-cache hit
+// that recomputes nothing.
+func TestServiceAppAmortization(t *testing.T) {
+	algo, count := registerStub(t, nil)
+	s, _ := New(Config{})
+	g := graph.Grid(6, 6)
+	ctx := context.Background()
+
+	mis, err := s.RunApp(ctx, AppMIS, &Request{Graph: g, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.CacheHit || mis.Shared {
+		t.Fatalf("first app request flagged CacheHit=%v Shared=%v", mis.CacheHit, mis.Shared)
+	}
+	if mis.DecompCacheHit {
+		t.Fatal("first app request cannot have found a cached decomposition")
+	}
+	if len(mis.InMIS) != g.N() {
+		t.Fatalf("MIS vector covers %d of %d nodes", len(mis.InMIS), g.N())
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("decomposition computed %d times after mis, want 1", got)
+	}
+
+	col, err := s.RunApp(ctx, AppColoring, &Request{Hash: mis.GraphHash, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.CacheHit {
+		t.Fatal("a different app over the same graph must not hit the app cache")
+	}
+	if !col.DecompCacheHit {
+		t.Fatal("coloring did not reuse the cached decomposition")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("decomposition computed %d times after mis+coloring, want exactly 1", got)
+	}
+	if col.PaletteSize != g.MaxDegree()+1 {
+		t.Fatalf("palette %d, want Δ+1 = %d", col.PaletteSize, g.MaxDegree()+1)
+	}
+	if col.ScheduleCost <= 0 {
+		t.Fatalf("ScheduleCost = %d, want positive", col.ScheduleCost)
+	}
+	// The exported cost is exactly apps.ScheduleCost of the decomposition
+	// the answer was computed over.
+	dres, err := s.Decompose(ctx, &Request{Hash: mis.GraphHash, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := apps.ScheduleCost(g, dres.Decomposition); col.ScheduleCost != want || mis.ScheduleCost != want {
+		t.Fatalf("ScheduleCost %d/%d, want %d", mis.ScheduleCost, col.ScheduleCost, want)
+	}
+
+	again, err := s.RunApp(ctx, AppMIS, &Request{Hash: mis.GraphHash, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("identical repeat app request not served from the app cache")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("repeat app request recomputed the decomposition (%d runs)", got)
+	}
+
+	st := s.Stats()
+	m := st.Apps[AppMIS]
+	if m.Requests != 2 || m.CacheHits != 1 || m.CacheMisses != 1 || m.Computes != 1 {
+		t.Fatalf("mis stats = %+v, want requests 2, hits 1, misses 1, computes 1", m)
+	}
+	if c := st.Apps[AppColoring]; c.Requests != 1 || c.Computes != 1 {
+		t.Fatalf("coloring stats = %+v", c)
+	}
+}
+
+// TestServiceAppUnknown checks the roster gate and its error identity.
+func TestServiceAppUnknown(t *testing.T) {
+	algo, _ := registerStub(t, nil)
+	s, _ := New(Config{})
+	_, err := s.RunApp(context.Background(), "pagerank", &Request{Graph: graph.Cycle(4), Algo: algo})
+	if !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := s.RunApp(context.Background(), AppMIS, &Request{Hash: "feed", Algo: algo}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestServiceAppRestartPersistence proves app answers survive a process
+// restart: a second service on the same data directory serves the app
+// record from disk without touching the decomposition backend.
+func TestServiceAppRestartPersistence(t *testing.T) {
+	algo, count := registerStub(t, nil)
+	dir := t.TempDir()
+	g := graph.Grid(5, 5)
+	hash := graphio.Hash(g)
+
+	s1, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.RunApp(context.Background(), AppDiameter, &Request{Graph: g, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Diameter != 8 {
+		t.Fatalf("grid-5x5 2-sweep diameter = %d, want 8", first.Diameter)
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1", got)
+	}
+	s1.Close()
+
+	s2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res, err := s2.RunApp(context.Background(), AppDiameter, &Request{Hash: hash, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("restarted service did not serve the app record from disk")
+	}
+	if res.Diameter != first.Diameter || res.ScheduleCost != first.ScheduleCost {
+		t.Fatalf("persisted answer drifted: %+v vs %+v", res, first)
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("restart recomputed the decomposition (%d backend runs)", got)
+	}
+	if st := s2.Stats(); st.Persist == nil || st.Persist.AppDiskHits != 1 {
+		t.Fatalf("persist stats missing the app disk hit: %+v", st.Persist)
+	}
+}
+
+// TestServiceAppStrictQuarantine tampers a persisted app record into a
+// shape-valid but semantically wrong answer (an empty "MIS" on a graph
+// with nodes, which VerifyMIS rejects as non-maximal) and checks a
+// strict service quarantines it and serves a verified recomputation.
+func TestServiceAppStrictQuarantine(t *testing.T) {
+	algo, count := registerStub(t, nil)
+	dir := t.TempDir()
+	g := graph.Path(6)
+	ctx := context.Background()
+
+	s1, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.RunApp(ctx, AppMIS, &Request{Graph: g, Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Verified {
+		t.Fatal("non-strict service must not claim verification")
+	}
+	s1.Close()
+
+	// Tamper the one persisted app record: keep every identity field so it
+	// decodes cleanly, but blank the membership vector.
+	recs, err := filepath.Glob(filepath.Join(dir, "apps", "*.json"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("app records on disk = %v (err %v), want exactly 1", recs, err)
+	}
+	data, err := os.ReadFile(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec["in_mis"] = make([]bool, g.N())
+	data, err = json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(recs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{DataDir: dir, StrictApps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res, err := s2.RunApp(ctx, AppMIS, &Request{Hash: graphio.Hash(g), Algo: algo, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("tampered record served as a cache hit")
+	}
+	if !res.Verified {
+		t.Fatal("strict recomputation not flagged Verified")
+	}
+	if trues(res.InMIS) == 0 {
+		t.Fatal("recomputed MIS is empty")
+	}
+	// The app recomputes, but the decomposition under it rides the disk
+	// tier — the backend never runs again even on the recovery path.
+	if !res.DecompCacheHit {
+		t.Fatal("strict recomputation did not reuse the persisted decomposition")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1 (decomposition persisted)", got)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "apps", "*.corrupt"))
+	if len(quarantined) != 1 {
+		t.Fatalf("tampered record not quarantined: %v", quarantined)
+	}
+	// The recomputed record replaced the quarantined one on disk.
+	fresh, _ := filepath.Glob(filepath.Join(dir, "apps", "*.json"))
+	if len(fresh) != 1 || strings.HasSuffix(fresh[0], ".corrupt") {
+		t.Fatalf("recomputed record missing from disk: %v", fresh)
+	}
+}
+
+// trues counts set entries of a bool vector.
+func trues(v []bool) int {
+	n := 0
+	for _, b := range v {
+		if b {
+			n++
+		}
+	}
+	return n
+}

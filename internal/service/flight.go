@@ -12,21 +12,23 @@ import (
 // for a key starts the computation, every concurrent caller for the same
 // key blocks on its completion and shares the result. Unlike a cache this
 // holds no history — an entry lives exactly as long as one computation.
-type flightGroup struct {
+// The group is generic in the result type so the decomposition path
+// (*Result) and the applications path (*AppResult) share one mechanism.
+type flightGroup[V any] struct {
 	mu    sync.Mutex
-	calls map[cacheKey]*flightCall
+	calls map[cacheKey]*flightCall[V]
 }
 
-type flightCall struct {
+type flightCall[V any] struct {
 	done    chan struct{} // closed when res/err are final
-	res     *Result
+	res     V
 	err     error
 	parties atomic.Int64       // callers still waiting; mutated under flightGroup.mu
 	cancel  context.CancelFunc // aborts the shared computation
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+func newFlightGroup[V any]() *flightGroup[V] {
+	return &flightGroup[V]{calls: make(map[cacheKey]*flightCall[V])}
 }
 
 // do runs compute for key, collapsing concurrent identical calls onto one
@@ -36,7 +38,7 @@ func newFlightGroup() *flightGroup {
 // the shared result, and only when the last interested caller has left is
 // the computation itself canceled. shared reports whether this caller
 // joined a flight another caller started.
-func (f *flightGroup) do(ctx context.Context, key cacheKey, compute func(ctx context.Context) (*Result, error)) (res *Result, err error, shared bool) {
+func (f *flightGroup[V]) do(ctx context.Context, key cacheKey, compute func(ctx context.Context) (V, error)) (res V, err error, shared bool) {
 	f.mu.Lock()
 	if c, ok := f.calls[key]; ok {
 		c.parties.Add(1)
@@ -45,7 +47,7 @@ func (f *flightGroup) do(ctx context.Context, key cacheKey, compute func(ctx con
 		return res, err, true
 	}
 	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	c := &flightCall{done: make(chan struct{}), cancel: cancel}
+	c := &flightCall[V]{done: make(chan struct{}), cancel: cancel}
 	c.parties.Add(1)
 	f.calls[key] = c
 	f.mu.Unlock()
@@ -64,7 +66,7 @@ func (f *flightGroup) do(ctx context.Context, key cacheKey, compute func(ctx con
 // context dies. The last caller abandoning a flight cancels the
 // computation and unlinks the call — under the group lock, so a new
 // request can never join a flight that is already being torn down.
-func (f *flightGroup) wait(ctx context.Context, key cacheKey, c *flightCall) (*Result, error) {
+func (f *flightGroup[V]) wait(ctx context.Context, key cacheKey, c *flightCall[V]) (V, error) {
 	select {
 	case <-c.done:
 		return c.res, c.err
@@ -77,13 +79,14 @@ func (f *flightGroup) wait(ctx context.Context, key cacheKey, c *flightCall) (*R
 			c.cancel()
 		}
 		f.mu.Unlock()
-		return nil, registry.CtxErr(ctx)
+		var zero V
+		return zero, registry.CtxErr(ctx)
 	}
 }
 
 // forget unlinks c from the group if it is still the current flight for
 // key (an abandoned flight may already have been replaced by a fresh one).
-func (f *flightGroup) forget(key cacheKey, c *flightCall) {
+func (f *flightGroup[V]) forget(key cacheKey, c *flightCall[V]) {
 	f.mu.Lock()
 	if f.calls[key] == c {
 		delete(f.calls, key)

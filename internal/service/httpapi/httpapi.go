@@ -21,6 +21,9 @@
 //	DELETE /v2/jobs/{id}         cancel by ID (idempotent)
 //	GET    /v2/jobs/{id}/result  fetch a done job's result; ?stream=1
 //	                             streams clusters as NDJSON
+//	POST   /v2/apps/{app}        run an application (mis | coloring |
+//	                             diameter | spanner) over the graph's
+//	                             cached decomposition
 //
 // Graph uploads accept any graphio format (?format=edgelist|metis|json|csr,
 // default json); compute requests carry the graph inline as a JSON graph
@@ -133,6 +136,7 @@ func New(s *service.Service, opts ...Option) http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", api.getJob)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", api.cancelJob)
 	mux.HandleFunc("GET /v2/jobs/{id}/result", api.jobResult)
+	mux.HandleFunc("POST /v2/apps/{app}", api.runApp)
 	var h http.Handler = mux
 	if api.servedBy != "" {
 		h = servedByHandler(api.servedBy, h)
@@ -417,6 +421,85 @@ func resultResponse(res *service.Result) computeResponse {
 	return out
 }
 
+// appResponse is a served application answer (POST /v2/apps/{app}).
+// Payload fields are app-specific; schedule_cost, rounds, and the cache
+// provenance flags are present on every app.
+type appResponse struct {
+	GraphHash string `json:"graph_hash"`
+	App       string `json:"app"`
+	Algo      string `json:"algo"`
+	Seed      int64  `json:"seed"`
+
+	InMIS       []bool `json:"in_mis,omitempty"`
+	MISSize     int    `json:"mis_size,omitempty"`
+	ColorOf     []int  `json:"color_of,omitempty"`
+	PaletteSize int    `json:"palette_size,omitempty"`
+	// Diameter is a pointer so the diameter app's legitimate 0 answer
+	// (single node) still serializes while other apps omit the field.
+	Diameter     *int     `json:"diameter,omitempty"`
+	SpannerEdges [][2]int `json:"spanner_edges,omitempty"`
+	TreeEdges    int      `json:"tree_edges,omitempty"`
+	CrossEdges   int      `json:"cross_edges,omitempty"`
+
+	// ScheduleCost is the C·D template cost of the underlying
+	// decomposition on this graph — the paper's bound on what any
+	// color-by-color application pays.
+	ScheduleCost int   `json:"schedule_cost"`
+	Rounds       int64 `json:"rounds"`
+	Cached       bool  `json:"cached"`
+	Shared       bool  `json:"shared,omitempty"`
+	// DecompositionCached reports the underlying decomposition was served
+	// from a cache tier instead of freshly computed.
+	DecompositionCached bool    `json:"decomposition_cached"`
+	Verified            bool    `json:"verified,omitempty"`
+	ElapsedMS           float64 `json:"elapsed_ms"`
+}
+
+// appWire renders a served app answer.
+func appWire(res *service.AppResult) appResponse {
+	out := appResponse{
+		GraphHash: res.GraphHash, App: res.App, Algo: res.Algo, Seed: res.Seed,
+		InMIS: res.InMIS, ColorOf: res.ColorOf, PaletteSize: res.PaletteSize,
+		SpannerEdges: res.SpannerEdges, TreeEdges: res.TreeEdges, CrossEdges: res.CrossEdges,
+		ScheduleCost: res.ScheduleCost, Rounds: res.Rounds,
+		Cached: res.CacheHit, Shared: res.Shared,
+		DecompositionCached: res.DecompCacheHit, Verified: res.Verified,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for _, in := range res.InMIS {
+		if in {
+			out.MISSize++
+		}
+	}
+	if res.App == service.AppDiameter {
+		d := res.Diameter
+		out.Diameter = &d
+	}
+	return out
+}
+
+// runApp is POST /v2/apps/{app}: run an application over the graph's
+// cached decomposition. The body is the compute-request shape (inline
+// graph or hash, algo, seed, timeout); eps and kind do not apply.
+func (a *api) runApp(w http.ResponseWriter, r *http.Request) {
+	var body computeRequest
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := body.serviceRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := a.svc.RunApp(r.Context(), r.PathValue("app"), req)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appWire(res))
+}
+
 // batchRequest is the body of POST /v1/decompose/batch: an ordered list
 // of compute requests (each the same shape as a /v2/jobs body, so "kind"
 // selects carve vs decompose per item).
@@ -623,7 +706,8 @@ func (a *api) jobResult(w http.ResponseWriter, r *http.Request) {
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, service.ErrUnknownGraph),
-		errors.Is(err, service.ErrUnknownJob):
+		errors.Is(err, service.ErrUnknownJob),
+		errors.Is(err, service.ErrUnknownApp):
 		return http.StatusNotFound
 	case errors.Is(err, service.ErrQueueFull):
 		return http.StatusTooManyRequests

@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"strongdecomp/internal/obs"
+)
+
+// TestServiceHTTPApps drives POST /v2/apps/{app} end to end: an inline
+// diameter request (payload + always-present schedule_cost), the
+// cache-provenance flags across a repeat, and the per-app Prometheus
+// families the call leaves behind on /metrics.
+func TestServiceHTTPApps(t *testing.T) {
+	srv, algo := newOptsServer(t, WithObs(obs.NewCollector(nil)))
+	// A 9-node path: 2-sweep diameter is exact on trees → 8.
+	edges := make([][]int, 0, 8)
+	for v := 0; v < 8; v++ {
+		edges = append(edges, []int{v, v + 1})
+	}
+	doc := map[string]any{"n": 9, "edges": edges}
+
+	resp, body := postJSON(t, srv.URL+"/v2/apps/diameter", map[string]any{"graph": doc, "algo": algo, "seed": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diameter: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		App                 string `json:"app"`
+		Algo                string `json:"algo"`
+		Diameter            *int   `json:"diameter"`
+		ScheduleCost        int    `json:"schedule_cost"`
+		Cached              bool   `json:"cached"`
+		DecompositionCached bool   `json:"decomposition_cached"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.App != "diameter" || out.Algo != algo || out.Diameter == nil || *out.Diameter != 8 {
+		t.Fatalf("diameter response: %s", body)
+	}
+	if out.ScheduleCost <= 0 {
+		t.Fatalf("schedule_cost missing from app response: %s", body)
+	}
+	if out.Cached || out.DecompositionCached {
+		t.Fatalf("first app request flagged cached: %s", body)
+	}
+
+	// The repeat is an app-cache hit; a different app on the same graph
+	// reuses the decomposition.
+	resp, body = postJSON(t, srv.URL+"/v2/apps/diameter", map[string]any{"graph": doc, "algo": algo, "seed": 1})
+	if err := json.Unmarshal(body, &out); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if !out.Cached {
+		t.Fatalf("repeat app request not cached: %s", body)
+	}
+	var mis struct {
+		MISSize             int  `json:"mis_size"`
+		DecompositionCached bool `json:"decomposition_cached"`
+	}
+	resp, body = postJSON(t, srv.URL+"/v2/apps/mis", map[string]any{"graph": doc, "algo": algo, "seed": 1})
+	if err := json.Unmarshal(body, &mis); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("mis: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if !mis.DecompositionCached {
+		t.Fatalf("mis did not reuse the cached decomposition: %s", body)
+	}
+	if mis.MISSize == 0 {
+		t.Fatalf("mis answer empty: %s", body)
+	}
+
+	// App activity surfaces as its own metric families.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`strongdecomp_app_requests_total{app="diameter"} 2`,
+		`strongdecomp_app_requests_total{app="mis"} 1`,
+		`strongdecomp_app_cache_hits_total{app="diameter"} 1`,
+		`strongdecomp_app_duration_seconds_bucket{app="diameter"`,
+		`strongdecomp_app_duration_seconds_count{app="mis"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServiceHTTPAppErrors maps the app-tier error identities to their
+// HTTP statuses.
+func TestServiceHTTPAppErrors(t *testing.T) {
+	srv, algo := newTestServer(t)
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"unknown app", "/v2/apps/pagerank", map[string]any{"graph": map[string]any{"n": 2, "edges": [][]int{{0, 1}}}}, http.StatusNotFound},
+		{"unknown graph", "/v2/apps/mis", map[string]any{"hash": "beef"}, http.StatusNotFound},
+		{"no graph", "/v2/apps/mis", map[string]any{"algo": algo}, http.StatusBadRequest},
+		{"bad algorithm", "/v2/apps/mis", map[string]any{"graph": map[string]any{"n": 2, "edges": [][]int{{0, 1}}}, "algo": "nope"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}

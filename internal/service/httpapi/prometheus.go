@@ -92,6 +92,7 @@ func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64, col 
 	p.sample("strongdecomp_stored_graphs", "", float64(st.StoredGraphs))
 
 	writePrometheusAlgorithms(p, st.Algorithms)
+	writePrometheusApps(p, st.Apps)
 
 	p.family("strongdecomp_jobs_total", "Async jobs by lifecycle event.", "counter")
 	p.sample("strongdecomp_jobs_total", promLabel("event", "submitted"), float64(st.Jobs.Submitted))
@@ -123,6 +124,8 @@ func writePrometheus(w io.Writer, st service.Stats, shard map[string]int64, col 
 			{"strongdecomp_persist_result_saves_total", "Result records spilled to the disk tier.", st.Persist.ResultSaves},
 			{"strongdecomp_persist_graph_disk_hits_total", "Graph memory misses answered from disk.", st.Persist.GraphDiskHits},
 			{"strongdecomp_persist_result_disk_hits_total", "Result memory misses answered from disk.", st.Persist.ResultDiskHits},
+			{"strongdecomp_persist_app_saves_total", "Application records spilled to the disk tier.", st.Persist.AppSaves},
+			{"strongdecomp_persist_app_disk_hits_total", "App-cache memory misses answered from disk.", st.Persist.AppDiskHits},
 			{"strongdecomp_persist_quarantined_total", "Corrupt files renamed aside instead of served.", st.Persist.Quarantined},
 			{"strongdecomp_persist_save_errors_total", "Failed spill attempts.", st.Persist.SaveErrors},
 		}
@@ -162,6 +165,9 @@ func writePrometheusObs(p promWriter, col *obs.Collector) {
 	writeHistogramVec(p, "strongdecomp_algorithm_duration_seconds",
 		"Fresh computation latency by algorithm (cache hits excluded).",
 		"algorithm", col.Algorithms())
+	writeHistogramVec(p, "strongdecomp_app_duration_seconds",
+		"Application run latency by app (cache hits and decomposition resolution excluded).",
+		"app", col.Apps())
 
 	p.family("strongdecomp_inflight_requests", "HTTP requests currently being served.", "gauge")
 	p.sample("strongdecomp_inflight_requests", "", float64(col.InFlight()))
@@ -248,6 +254,42 @@ func writePrometheusAlgorithms(p promWriter, algos map[string]service.AlgoStats)
 		func(a service.AlgoStats) float64 { return a.LatencyMax.Seconds() })
 	emit("strongdecomp_algorithm_latency_seconds_mean", "Mean computation latency per algorithm.", "gauge",
 		func(a service.AlgoStats) float64 { return a.LatencyMeanSeconds })
+}
+
+// writePrometheusApps renders the per-application families (POST
+// /v2/apps/{app} serving counters) with an app label, deterministically
+// ordered. Absent outside app-serving processes — the families only
+// appear once an app request has been counted.
+func writePrometheusApps(p promWriter, apps map[string]service.AlgoStats) {
+	if len(apps) == 0 {
+		return
+	}
+	names := make([]string, 0, len(apps))
+	for name := range apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	emit := func(metric, help, typ string, value func(service.AlgoStats) float64) {
+		p.family(metric, help, typ)
+		for _, name := range names {
+			p.sample(metric, promLabel("app", name), value(apps[name]))
+		}
+	}
+	emit("strongdecomp_app_requests_total", "Requests per application.", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.Requests) })
+	emit("strongdecomp_app_errors_total", "Failed requests per application.", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.Errors) })
+	emit("strongdecomp_app_cache_hits_total", "App-cache hits per application (memory or disk tier).", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.CacheHits) })
+	emit("strongdecomp_app_cache_misses_total", "App-cache misses per application.", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.CacheMisses) })
+	emit("strongdecomp_app_dedup_shared_total", "In-flight shared answers per application.", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.DedupShared) })
+	emit("strongdecomp_app_runs_total", "Completed application runs per application.", "counter",
+		func(a service.AlgoStats) float64 { return float64(a.Computes) })
+	emit("strongdecomp_app_latency_seconds_total", "Total application run latency per application.", "counter",
+		func(a service.AlgoStats) float64 { return a.LatencyTotal.Seconds() })
 }
 
 // sortedKeys returns the map's keys in sorted order for deterministic

@@ -12,8 +12,10 @@ package service
 //
 //	<dir>/graphs/<graph-hash>.csr            binary CSR snapshot
 //	<dir>/results/<graph-hash>-<params>.json persisted result record
+//	<dir>/apps/<graph-hash>-<params>.json    persisted application record
 //
-// where <params> is the lowercase hex of the canonical Params.Key bytes.
+// where <params> is the lowercase hex of the canonical Params.Key bytes
+// (for app records, of the app-prefixed key — see appParamsKey).
 // Every file is written via an adjacent temp file + atomic rename.
 //
 // Corruption policy: a file that fails checksum, decoding, or structural
@@ -44,11 +46,14 @@ import (
 type persistStore struct {
 	graphDir  string
 	resultDir string
+	appDir    string
 
 	graphSaves     atomic.Int64
 	graphDiskHits  atomic.Int64
 	resultSaves    atomic.Int64
 	resultDiskHits atomic.Int64
+	appSaves       atomic.Int64
+	appDiskHits    atomic.Int64
 	quarantined    atomic.Int64
 	saveErrors     atomic.Int64
 }
@@ -58,8 +63,9 @@ func newPersistStore(dir string) (*persistStore, error) {
 	p := &persistStore{
 		graphDir:  filepath.Join(dir, "graphs"),
 		resultDir: filepath.Join(dir, "results"),
+		appDir:    filepath.Join(dir, "apps"),
 	}
-	for _, d := range []string{p.graphDir, p.resultDir} {
+	for _, d := range []string{p.graphDir, p.resultDir, p.appDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("service: data dir: %w", err)
 		}
@@ -379,6 +385,172 @@ func decodeResult(data []byte, key cacheKey, n int) (*Result, bool) {
 	return out, true
 }
 
+// persistedApp is the on-disk record of one application answer. Like
+// persistedResult it is schema-gated and fully validated on load; unlike
+// results, app records never travel between peers — the decomposition is
+// what replicates, and apps recompute cheaply from it.
+type persistedApp struct {
+	Schema    string `json:"schema"`
+	GraphHash string `json:"graph_hash"`
+	// ParamsKey is the app-prefixed cache key's params bytes (see
+	// appParamsKey); it must round-trip to the requested key exactly.
+	ParamsKey []byte `json:"params_key"`
+	App       string `json:"app"`
+	Algo      string `json:"algo"`
+	Seed      int64  `json:"seed"`
+
+	InMIS        []bool   `json:"in_mis,omitempty"`
+	ColorOf      []int    `json:"color_of,omitempty"`
+	PaletteSize  int      `json:"palette_size,omitempty"`
+	Diameter     int      `json:"diameter,omitempty"`
+	SpannerEdges [][2]int `json:"spanner_edges,omitempty"`
+	TreeEdges    int      `json:"tree_edges,omitempty"`
+	CrossEdges   int      `json:"cross_edges,omitempty"`
+
+	ScheduleCost int   `json:"schedule_cost"`
+	Rounds       int64 `json:"rounds"`
+	ElapsedNS    int64 `json:"elapsed_ns"`
+}
+
+// appSchema versions persistedApp.
+const appSchema = "strongdecomp/app/v1"
+
+// appPath returns the record path of an app cache key, with the same
+// fixed-length naming scheme as resultPath. The app-prefixed params key
+// hashes differently from the underlying decomposition's, so app and
+// result records can never collide even though both derive from the same
+// Params.
+func (p *persistStore) appPath(key cacheKey) string {
+	sum := sha256.Sum256([]byte(key.params))
+	return filepath.Join(p.appDir, key.hash+"-"+hex.EncodeToString(sum[:])+".json")
+}
+
+// saveApp spills one application answer record, atomically.
+func (p *persistStore) saveApp(key cacheKey, res *AppResult) {
+	if !validHash(key.hash) {
+		return
+	}
+	rec := persistedApp{
+		Schema:       appSchema,
+		GraphHash:    res.GraphHash,
+		ParamsKey:    []byte(key.params),
+		App:          res.App,
+		Algo:         res.Algo,
+		Seed:         res.Seed,
+		InMIS:        res.InMIS,
+		ColorOf:      res.ColorOf,
+		PaletteSize:  res.PaletteSize,
+		Diameter:     res.Diameter,
+		SpannerEdges: res.SpannerEdges,
+		TreeEdges:    res.TreeEdges,
+		CrossEdges:   res.CrossEdges,
+		ScheduleCost: res.ScheduleCost,
+		Rounds:       res.Rounds,
+		ElapsedNS:    int64(res.Elapsed),
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		p.saveErrors.Add(1)
+		return
+	}
+	if err := writeFileAtomic(p.appPath(key), data); err != nil {
+		p.saveErrors.Add(1)
+		return
+	}
+	p.appSaves.Add(1)
+}
+
+// loadApp reads the spilled app record for key, validating it against the
+// resolved graph (n nodes) before it may be served. Undecodable or
+// inconsistent records are quarantined and treated as a miss.
+func (p *persistStore) loadApp(key cacheKey, n int) (*AppResult, bool) {
+	if !validHash(key.hash) {
+		return nil, false
+	}
+	path := p.appPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	res, ok := decodeApp(data, key, n)
+	if !ok {
+		p.quarantine(path)
+		return nil, false
+	}
+	p.appDiskHits.Add(1)
+	return res, true
+}
+
+// quarantineApp renames key's app record aside — the strict-mode path for
+// a persisted answer that decodes cleanly but fails its verifier.
+func (p *persistStore) quarantineApp(key cacheKey) {
+	p.quarantine(p.appPath(key))
+}
+
+// decodeApp turns an app record's bytes back into an AppResult, enforcing
+// the consistency rules that make it safe to serve: schema, hash, and key
+// match; a valid app name; per-node payloads covering exactly n nodes;
+// node ids and counters in range. Semantic verification (is the MIS
+// actually maximal?) is the strict-mode serve path's job, not the
+// decoder's.
+func decodeApp(data []byte, key cacheKey, n int) (*AppResult, bool) {
+	var rec persistedApp
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	if rec.Schema != appSchema || rec.GraphHash != key.hash || string(rec.ParamsKey) != key.params {
+		return nil, false
+	}
+	if !validApp(rec.App) || rec.Rounds < 0 || rec.ScheduleCost < 0 {
+		return nil, false
+	}
+	out := &AppResult{
+		GraphHash:    rec.GraphHash,
+		App:          rec.App,
+		Algo:         rec.Algo,
+		Seed:         rec.Seed,
+		InMIS:        rec.InMIS,
+		ColorOf:      rec.ColorOf,
+		PaletteSize:  rec.PaletteSize,
+		Diameter:     rec.Diameter,
+		SpannerEdges: rec.SpannerEdges,
+		TreeEdges:    rec.TreeEdges,
+		CrossEdges:   rec.CrossEdges,
+		ScheduleCost: rec.ScheduleCost,
+		Rounds:       rec.Rounds,
+		Elapsed:      time.Duration(rec.ElapsedNS),
+	}
+	switch rec.App {
+	case AppMIS:
+		if len(rec.InMIS) != n {
+			return nil, false
+		}
+	case AppColoring:
+		if len(rec.ColorOf) != n || rec.PaletteSize <= 0 {
+			return nil, false
+		}
+		for _, c := range rec.ColorOf {
+			if c < 0 || c >= rec.PaletteSize {
+				return nil, false
+			}
+		}
+	case AppDiameter:
+		if rec.Diameter < 0 || (n > 0 && rec.Diameter >= n) {
+			return nil, false
+		}
+	case AppSpanner:
+		if rec.TreeEdges < 0 || rec.CrossEdges < 0 || rec.TreeEdges+rec.CrossEdges != len(rec.SpannerEdges) {
+			return nil, false
+		}
+		for _, e := range rec.SpannerEdges {
+			if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+				return nil, false
+			}
+		}
+	}
+	return out, true
+}
+
 // writeFileAtomic writes data via an adjacent temp file and a rename, the
 // same crash-safety discipline as graphio.SaveCSR.
 func writeFileAtomic(path string, data []byte) error {
@@ -404,10 +576,14 @@ type PersistStats struct {
 	// lifetime (not files on disk — earlier runs contribute files too).
 	GraphSaves  int64 `json:"graph_saves"`
 	ResultSaves int64 `json:"result_saves"`
+	// AppSaves counts successfully spilled application records.
+	AppSaves int64 `json:"app_saves"`
 	// GraphDiskHits / ResultDiskHits count memory misses answered from
 	// disk — after a restart, the entire working set returns this way.
 	GraphDiskHits  int64 `json:"graph_disk_hits"`
 	ResultDiskHits int64 `json:"result_disk_hits"`
+	// AppDiskHits counts app-cache memory misses answered from disk.
+	AppDiskHits int64 `json:"app_disk_hits"`
 	// Quarantined counts corrupt files renamed aside instead of served.
 	Quarantined int64 `json:"quarantined"`
 	// SaveErrors counts failed spill attempts (disk full, permissions).
@@ -419,8 +595,10 @@ func (p *persistStore) snapshot() *PersistStats {
 	return &PersistStats{
 		GraphSaves:     p.graphSaves.Load(),
 		ResultSaves:    p.resultSaves.Load(),
+		AppSaves:       p.appSaves.Load(),
 		GraphDiskHits:  p.graphDiskHits.Load(),
 		ResultDiskHits: p.resultDiskHits.Load(),
+		AppDiskHits:    p.appDiskHits.Load(),
 		Quarantined:    p.quarantined.Load(),
 		SaveErrors:     p.saveErrors.Load(),
 	}

@@ -67,6 +67,15 @@ type Config struct {
 	// CacheSize bounds the result cache entries (default 256; negative
 	// disables caching).
 	CacheSize int
+	// AppCacheSize bounds the application-result cache entries (default
+	// 256; negative disables app-result caching). See apps.go.
+	AppCacheSize int
+	// StrictApps makes every served application answer pass its verifier
+	// (VerifyMIS, VerifyColoring, shape checks for diameter and spanner)
+	// before it leaves the service: freshly computed answers that fail
+	// verification are errors, and persisted app records that fail are
+	// quarantined and recomputed instead of served.
+	StrictApps bool
 	// GraphStoreSize bounds the uploaded-graph store entries (default 128;
 	// negative disables the store, forcing inline graphs).
 	GraphStoreSize int
@@ -128,15 +137,17 @@ type ClusterHooks struct {
 // deduplicator, and an injected execution backend. It is safe for
 // concurrent use — one Service is meant to serve a whole process.
 type Service struct {
-	cfg     Config
-	runners *runnerTable
-	cache   *resultCache
-	graphs  *graphStore
-	persist *persistStore // nil when Config.DataDir is empty
-	flight  *flightGroup
-	stats   *statsTable
-	jobs    *jobManager
-	start   time.Time
+	cfg       Config
+	runners   *runnerTable
+	cache     *resultCache
+	graphs    *graphStore
+	persist   *persistStore // nil when Config.DataDir is empty
+	flight    *flightGroup[*Result]
+	appCache  *lru[cacheKey, *AppResult]
+	appFlight *flightGroup[*AppResult]
+	stats     *statsTable
+	jobs      *jobManager
+	start     time.Time
 }
 
 // New builds a Service from cfg. It fails only when Config.DataDir is set
@@ -157,6 +168,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 256
 	}
+	if cfg.AppCacheSize == 0 {
+		cfg.AppCacheSize = 256
+	}
 	if cfg.GraphStoreSize == 0 {
 		cfg.GraphStoreSize = 128
 	}
@@ -173,13 +187,15 @@ func New(cfg Config) (*Service, error) {
 		cfg.JobTTL = 15 * time.Minute
 	}
 	s := &Service{
-		cfg:     cfg,
-		runners: newRunnerTable(cfg.NewRunner),
-		cache:   newResultCache(cfg.CacheSize),
-		graphs:  newGraphStore(cfg.GraphStoreSize, cfg.GraphStoreBudget),
-		flight:  newFlightGroup(),
-		stats:   newStatsTable(),
-		start:   time.Now(),
+		cfg:       cfg,
+		runners:   newRunnerTable(cfg.NewRunner),
+		cache:     newResultCache(cfg.CacheSize),
+		graphs:    newGraphStore(cfg.GraphStoreSize, cfg.GraphStoreBudget),
+		flight:    newFlightGroup[*Result](),
+		appCache:  newLRU[cacheKey, *AppResult](cfg.AppCacheSize),
+		appFlight: newFlightGroup[*AppResult](),
+		stats:     newStatsTable(),
+		start:     time.Now(),
 	}
 	if cfg.DataDir != "" {
 		p, err := newPersistStore(cfg.DataDir)

@@ -32,13 +32,21 @@ func (a *algoStats) recordLatency(d time.Duration) {
 	}
 }
 
-// statsTable lazily allocates one counter block per algorithm name.
+// statsTable lazily allocates one counter block per algorithm name, and
+// one per served application name (the two namespaces are disjoint: app
+// names are a fixed enum, algorithm names come from the registry).
 type statsTable struct {
 	mu    sync.Mutex
 	algos map[string]*algoStats
+	apps  map[string]*algoStats
 }
 
-func newStatsTable() *statsTable { return &statsTable{algos: make(map[string]*algoStats)} }
+func newStatsTable() *statsTable {
+	return &statsTable{
+		algos: make(map[string]*algoStats),
+		apps:  make(map[string]*algoStats),
+	}
+}
 
 func (t *statsTable) algo(name string) *algoStats {
 	t.mu.Lock()
@@ -47,6 +55,22 @@ func (t *statsTable) algo(name string) *algoStats {
 	if !ok {
 		st = &algoStats{}
 		t.algos[name] = st
+	}
+	return st
+}
+
+// app returns the counter block of a served application. Application
+// blocks reuse the algoStats layout: an app "compute" is one run of the
+// application itself (the underlying decomposition's compute is counted
+// by its own algorithm block), and PeerHits stays zero — app answers are
+// never fetched from peers, only their decompositions are.
+func (t *statsTable) app(name string) *algoStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.apps[name]
+	if !ok {
+		st = &algoStats{}
+		t.apps[name] = st
 	}
 	return st
 }
@@ -98,7 +122,12 @@ type Stats struct {
 	StoredGraphs  int                  `json:"stored_graphs"`
 	Jobs          JobStats             `json:"jobs"`
 	Algorithms    map[string]AlgoStats `json:"algorithms"`
-	Runner        map[string]int64     `json:"runner,omitempty"`
+	// Apps holds the per-application serving counters (POST
+	// /v2/apps/{app}). App requests are counted here, not in the top-level
+	// totals — the decompositions they resolve already count under their
+	// algorithm — so adding an app tier never perturbs existing dashboards.
+	Apps   map[string]AlgoStats `json:"apps,omitempty"`
+	Runner map[string]int64     `json:"runner,omitempty"`
 	// Persist is the disk-tier block; nil when the service runs without a
 	// data directory.
 	Persist *PersistStats `json:"persist,omitempty"`
@@ -119,6 +148,28 @@ type JobStats struct {
 	Retained int `json:"retained"`
 }
 
+// snapshot copies one live counter block into its wire form. Counters
+// are read atomically but individually, so cross-counter sums may be off
+// by in-flight requests.
+func (a *algoStats) snapshot() AlgoStats {
+	out := AlgoStats{
+		Requests:     a.requests.Load(),
+		Errors:       a.errors.Load(),
+		CacheHits:    a.cacheHits.Load(),
+		CacheMisses:  a.cacheMisses.Load(),
+		DedupShared:  a.dedupShared.Load(),
+		PeerHits:     a.peerHits.Load(),
+		Computes:     a.computes.Load(),
+		LatencyTotal: time.Duration(a.latencyNS.Load()),
+		LatencyMax:   time.Duration(a.latencyMaxNS.Load()),
+	}
+	if out.Computes > 0 {
+		out.LatencyMean = out.LatencyTotal / time.Duration(out.Computes)
+		out.LatencyMeanSeconds = out.LatencyTotal.Seconds() / float64(out.Computes)
+	}
+	return out
+}
+
 // Stats snapshots the service counters. Counters are read atomically but
 // individually, so cross-counter sums may be off by in-flight requests.
 func (s *Service) Stats() Stats {
@@ -135,24 +186,15 @@ func (s *Service) Stats() Stats {
 		names = append(names, name)
 		blocks = append(blocks, st)
 	}
+	appNames := make([]string, 0, len(s.stats.apps))
+	appBlocks := make([]*algoStats, 0, len(s.stats.apps))
+	for name, st := range s.stats.apps {
+		appNames = append(appNames, name)
+		appBlocks = append(appBlocks, st)
+	}
 	s.stats.mu.Unlock()
 	for i, name := range names {
-		st := blocks[i]
-		a := AlgoStats{
-			Requests:     st.requests.Load(),
-			Errors:       st.errors.Load(),
-			CacheHits:    st.cacheHits.Load(),
-			CacheMisses:  st.cacheMisses.Load(),
-			DedupShared:  st.dedupShared.Load(),
-			PeerHits:     st.peerHits.Load(),
-			Computes:     st.computes.Load(),
-			LatencyTotal: time.Duration(st.latencyNS.Load()),
-			LatencyMax:   time.Duration(st.latencyMaxNS.Load()),
-		}
-		if a.Computes > 0 {
-			a.LatencyMean = a.LatencyTotal / time.Duration(a.Computes)
-			a.LatencyMeanSeconds = a.LatencyTotal.Seconds() / float64(a.Computes)
-		}
+		a := blocks[i].snapshot()
 		out.Algorithms[name] = a
 		out.Requests += a.Requests
 		out.Errors += a.Errors
@@ -160,6 +202,12 @@ func (s *Service) Stats() Stats {
 		out.CacheMisses += a.CacheMisses
 		out.DedupShared += a.DedupShared
 		out.PeerHits += a.PeerHits
+	}
+	if len(appNames) > 0 {
+		out.Apps = make(map[string]AlgoStats, len(appNames))
+		for i, name := range appNames {
+			out.Apps[name] = appBlocks[i].snapshot()
+		}
 	}
 	sub, comp, failed, canc, queued, running, retained := s.jobs.counts()
 	out.Jobs = JobStats{

@@ -62,6 +62,7 @@ func (c *Cluster) Handler(svc *service.Service, local http.Handler) http.Handler
 	mux.HandleFunc("POST /v1/decompose", p.compute)
 	mux.HandleFunc("POST /v1/carve", p.compute)
 	mux.HandleFunc("POST /v1/decompose/batch", p.batch)
+	mux.HandleFunc("POST /v2/apps/{app}", p.compute)
 	mux.HandleFunc("POST /v2/jobs", p.submitJob)
 	mux.HandleFunc("GET /v2/jobs/{id}", p.jobByID)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", p.jobByID)

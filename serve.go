@@ -41,6 +41,10 @@ type (
 	// misses, and replication callbacks fired on fresh computations and
 	// graph uploads. The zero value keeps the service cluster-agnostic.
 	ServiceClusterHooks = service.ClusterHooks
+	// ServiceAppResult is a served application result (MIS, coloring,
+	// approximate diameter, or spanner) with cache/dedup provenance flags
+	// (see Service.RunApp).
+	ServiceAppResult = service.AppResult
 )
 
 // Typed serving errors.
@@ -53,6 +57,9 @@ var (
 	ErrQueueFull = service.ErrQueueFull
 	// ErrUnknownJob marks job IDs that never existed or expired.
 	ErrUnknownJob = service.ErrUnknownJob
+	// ErrUnknownApp marks requests naming an application the serving
+	// layer does not provide (see Service.Apps for the roster).
+	ErrUnknownApp = service.ErrUnknownApp
 )
 
 // LoadGraph reads a graph file, detecting the format (edge list, METIS, or
@@ -79,6 +86,8 @@ type serviceConfig struct {
 	jobTTL      time.Duration
 	dataDir     string
 	cluster     ServiceClusterHooks
+	appCache    int
+	strictApps  bool
 }
 
 // ServiceOption configures NewService.
@@ -150,6 +159,24 @@ func WithServiceDataDir(dir string) ServiceOption {
 	return func(c *serviceConfig) { c.dataDir = dir }
 }
 
+// WithServiceAppCacheSize bounds the served-application result cache
+// (default 256 entries; a negative size disables app caching — every
+// app request recomputes, though the decomposition it consumes still
+// rides the decomposition cache).
+func WithServiceAppCacheSize(n int) ServiceOption {
+	return func(c *serviceConfig) { c.appCache = n }
+}
+
+// WithServiceStrictApps makes the service verify every application
+// result before serving it: freshly computed results that fail their
+// verifier are refused (the request errors), and persisted app records
+// that load from disk but fail verification are quarantined and
+// recomputed. Off by default — the verifiers cost a full pass over the
+// graph per request.
+func WithServiceStrictApps(on bool) ServiceOption {
+	return func(c *serviceConfig) { c.strictApps = on }
+}
+
 // WithServiceClusterHooks connects the service to a sharded serving
 // tier: hooks.PeerLookup is consulted on result-cache misses before
 // computing, and the replication callbacks fire after fresh
@@ -190,6 +217,8 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		JobTTL:           c.jobTTL,
 		DataDir:          c.dataDir,
 		Cluster:          c.cluster,
+		AppCacheSize:     c.appCache,
+		StrictApps:       c.strictApps,
 		NewRunner: func(algo string) (service.Runner, error) {
 			// Engines resolve names lazily; validate here so unknown
 			// algorithms fail at request time with ErrUnknownAlgorithm
