@@ -102,9 +102,19 @@ func parseMixes(spec string) ([]*mix, error) {
 	return out, nil
 }
 
+// csrPath backs the -csr flag: the snapshot file the "csr" mix family
+// mmap-loads as its workload graph (e.g. one produced out-of-core by
+// graphio.BuildCSRStream).
+var csrPath string
+
 // makeGraph generates one workload graph by family name.
 func makeGraph(gen string, n int, seed int64) (*strongdecomp.Graph, error) {
 	switch gen {
+	case "csr":
+		if csrPath == "" {
+			return nil, fmt.Errorf("mix family \"csr\" needs -csr pointing at a snapshot file")
+		}
+		return strongdecomp.LoadGraph(csrPath)
 	case "gnp":
 		return strongdecomp.ConnectedGnpGraph(n, 4/float64(n), seed), nil
 	case "grid":
@@ -120,7 +130,7 @@ func makeGraph(gen string, n int, seed int64) (*strongdecomp.Graph, error) {
 	case "expander":
 		return strongdecomp.ExpanderGraph(n, 4, seed), nil
 	default:
-		return nil, fmt.Errorf("unknown graph family %q (want gnp|grid|path|tree|expander)", gen)
+		return nil, fmt.Errorf("unknown graph family %q (want gnp|grid|path|tree|expander|csr)", gen)
 	}
 }
 
@@ -134,8 +144,10 @@ func run() error {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
 		out      = flag.String("out", "", "write the JSON report here (empty: stdout)")
 		pr       = flag.String("pr", "pr7", "artifact tag recorded in the report")
+		csrFile  = flag.String("csr", "", "mmap-load this .csr snapshot for \"csr\" mix entries (family csr ignores the mix's node count)")
 	)
 	flag.Parse()
+	csrPath = *csrFile
 	if *rps <= 0 {
 		return fmt.Errorf("-rps must be positive")
 	}

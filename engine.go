@@ -29,10 +29,13 @@ import (
 // Meter folds component costs with MergeParallel (max) rather than
 // sequentially (sum).
 type Engine struct {
-	algo    string
-	workers int
+	algo         string
+	workers      int
+	parBFS       bool
+	parThreshold int
 
-	scratch sync.Pool // *engineScratch
+	scratch  sync.Pool // *graph.Scratch
+	pscratch sync.Pool // *graph.ParallelScratch
 
 	runs        atomic.Int64
 	batches     atomic.Int64
@@ -58,6 +61,28 @@ func WithWorkers(n int) EngineOption {
 	}
 }
 
+// WithParallelBFS enables intra-component frontier parallelism: when a
+// graph (or a single giant component) meets the size threshold, the
+// component split, the carving-round scans, and the ball-growing BFS
+// fan out across the engine's workers instead of running on one.
+// Results are bit-identical to the sequential path — the parallel
+// traversals reproduce sequential BFS visit order exactly — so golden
+// fixtures and caches are unaffected. Off by default.
+func WithParallelBFS(on bool) EngineOption {
+	return func(e *Engine) { e.parBFS = on }
+}
+
+// WithParallelBFSThreshold sets the minimum node count at which the
+// parallel traversal path engages (default graph.DefaultParallelThreshold).
+// Below it the zero-alloc sequential scratch path runs unchanged.
+func WithParallelBFSThreshold(n int) EngineOption {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.parThreshold = n
+		}
+	}
+}
+
 // WithEngineAlgorithm selects the registered construction the engine runs
 // (default the paper's "chang-ghaffari"). The name is resolved at run time,
 // so constructions registered after NewEngine are reachable too.
@@ -68,7 +93,11 @@ func WithEngineAlgorithm(name string) EngineOption {
 // NewEngine returns an engine running the given construction over a worker
 // pool.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{algo: ChangGhaffari.String(), workers: runtime.GOMAXPROCS(0)}
+	e := &Engine{
+		algo:         ChangGhaffari.String(),
+		workers:      runtime.GOMAXPROCS(0),
+		parThreshold: graph.DefaultParallelThreshold,
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -76,7 +105,15 @@ func NewEngine(opts ...EngineOption) *Engine {
 		e.workers = 1
 	}
 	e.scratch.New = func() any { return graph.NewScratch() }
+	e.pscratch.New = func() any { return graph.NewParallelScratch() }
 	return e
+}
+
+// parallelConfig returns the engine's intra-component parallelism config
+// and whether it can ever engage (WithParallelBFS on and >1 worker).
+func (e *Engine) parallelConfig() (graph.ParallelConfig, bool) {
+	cfg := graph.ParallelConfig{Workers: e.workers, Threshold: e.parThreshold}
+	return cfg, e.parBFS && e.workers > 1
 }
 
 // Algorithm returns the registry name of the construction the engine runs.
@@ -245,6 +282,14 @@ func (e *Engine) carve(ctx context.Context, g *Graph, p Params, dst *rounds.Mete
 	sc.mark("split")
 	if len(comps) <= 1 {
 		e.runs.Add(1)
+		// Single component (or explicit node subset): component-level
+		// parallelism has nothing to fan out, so hand the construction
+		// the intra-component config instead. Multi-component runs keep
+		// the pool fan-out and stay sequential inside each component —
+		// no nested parallelism.
+		if cfg, ok := e.parallelConfig(); ok {
+			ctx = graph.WithParallelConfig(ctx, cfg)
+		}
 		c, err := d.Carve(ctx, g, p.Eps, &RunOptions{Seed: p.Seed, Meter: dst, Nodes: p.Nodes})
 		sc.mark("carve-rounds")
 		return c, err
@@ -345,6 +390,11 @@ func (e *Engine) decomposeGraph(ctx context.Context, g *Graph, p Params, dst *ro
 	sc.mark("split")
 	if len(comps) <= 1 {
 		e.runs.Add(1)
+		// Same single-component handoff as carve: the one component may
+		// use every worker via frontier parallelism.
+		if cfg, ok := e.parallelConfig(); ok {
+			ctx = graph.WithParallelConfig(ctx, cfg)
+		}
 		dec, err := d.Decompose(ctx, g, &RunOptions{Seed: p.Seed, Meter: dst})
 		sc.mark("carve-rounds")
 		return dec, err
@@ -447,6 +497,11 @@ feed:
 // discovery order) using pooled scratch buffers, so steady-state engine
 // traffic does not reallocate BFS state.
 func (e *Engine) components(g *Graph) [][]int {
+	if cfg, ok := e.parallelConfig(); ok && cfg.Enabled(g.N()) {
+		ps := e.pscratch.Get().(*graph.ParallelScratch)
+		defer e.pscratch.Put(ps)
+		return ps.Components(g, nil, cfg.Workers)
+	}
 	s := e.scratch.Get().(*graph.Scratch)
 	defer e.scratch.Put(s)
 	return s.Components(g, nil)

@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The differential harness: every frontier-parallel primitive is checked
+// against its sequential oracle over every generator family, a range of
+// worker counts, and random alive-masks. The contract under test is
+// strict — identical visit ORDER, not merely identical distances — since
+// order equality is what keeps the engine's golden fixtures bit-identical
+// when the parallel path is switched on. CI runs this file under -race
+// three times (flaky-guard), so the claim protocol's atomics are also
+// exercised for data races.
+
+// diffWorkerCounts are the fan-out widths of the differential sweep.
+var diffWorkerCounts = []int{1, 2, 4, 8}
+
+// diffFamily is one generator instance of the differential sweep.
+type diffFamily struct {
+	name string
+	g    *Graph
+}
+
+// diffFamilies instantiates every generator family in gen.go at a small
+// size, plus large instances whose BFS levels exceed the inline-scan
+// threshold so the goroutine fan-out and the CAS-minimum contention path
+// genuinely run.
+func diffFamilies() []diffFamily {
+	return []diffFamily{
+		{"path", Path(257)},
+		{"cycle", Cycle(256)},
+		{"complete", Complete(64)},
+		{"star", Star(300)},
+		{"grid", Grid(17, 19)},
+		{"torus", Torus(16, 18)},
+		{"hypercube", Hypercube(8)},
+		{"binary-tree", BinaryTree(511)},
+		{"random-tree", RandomTree(400, 3)},
+		{"caterpillar", Caterpillar(40, 6)},
+		{"lollipop", Lollipop(30, 90)},
+		{"gnp", Gnp(500, 0.02, 11)},
+		{"connected-gnp", ConnectedGnp(500, 0.015, 13)},
+		{"regularish", RandomRegularish(600, 4, 17)},
+		{"subdivided-expander", SubdividedExpander(16, 4, 3, 5)},
+		{"cluster-graph", ClusterGraph(6, 50, 0.3, 19)},
+		{"disjoint-union", DisjointUnion(Path(100), Cycle(101), Grid(9, 11), Star(60))},
+		// Large instances: frontiers of thousands of nodes, so levels fan
+		// out to real worker goroutines instead of the inline path.
+		{"big-star", Star(6000)},
+		{"big-gnp", ConnectedGnp(20000, 5.0/20000, 23)},
+		{"big-regularish", RandomRegularish(16000, 8, 29)},
+	}
+}
+
+// diffMasks returns the alive-masks of the sweep for an n-node graph: the
+// nil mask plus deterministic random masks at two survival densities.
+func diffMasks(n int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	masks := [][]bool{nil}
+	for _, density := range []float64{0.9, 0.6} {
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Float64() < density
+		}
+		masks = append(masks, mask)
+	}
+	return masks
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelBFSDifferential pins ParallelScratch.BFS to Scratch.BFS:
+// identical distance arrays AND identical visit order, single- and
+// multi-source, across families, worker counts, and masks.
+func TestParallelBFSDifferential(t *testing.T) {
+	seq := NewScratch()
+	par := NewParallelScratch()
+	for _, fam := range diffFamilies() {
+		n := fam.g.N()
+		wantDist := make([]int, n)
+		gotDist := make([]int, n)
+		srcSets := [][]int{{0}, {n - 1, 0, n / 2, 0}}
+		for mi, mask := range diffMasks(n, int64(31+n)) {
+			for _, srcs := range srcSets {
+				wantOrder := seq.BFS(fam.g, mask, srcs, wantDist)
+				want := make([]int, len(wantOrder))
+				copy(want, wantOrder)
+				for _, workers := range diffWorkerCounts {
+					gotOrder := par.BFS(fam.g, mask, srcs, gotDist, workers)
+					if !equalIntSlices(want, gotOrder) {
+						t.Fatalf("%s mask=%d workers=%d srcs=%v: visit order diverges from sequential oracle", fam.name, mi, workers, srcs)
+					}
+					if !equalIntSlices(wantDist, gotDist) {
+						t.Fatalf("%s mask=%d workers=%d srcs=%v: dist array diverges from sequential oracle", fam.name, mi, workers, srcs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelComponentsDifferential pins both component surfaces:
+// ParallelScratch.Components against Scratch.Components (exact member
+// order) and the pooled ParallelComponents against the package-level
+// Components (sorted members).
+func TestParallelComponentsDifferential(t *testing.T) {
+	seq := NewScratch()
+	par := NewParallelScratch()
+	for _, fam := range diffFamilies() {
+		for mi, mask := range diffMasks(fam.g.N(), int64(37+fam.g.N())) {
+			want := seq.Components(fam.g, mask)
+			wantSorted := Components(fam.g, mask)
+			for _, workers := range diffWorkerCounts {
+				got := par.Components(fam.g, mask, workers)
+				if len(got) != len(want) {
+					t.Fatalf("%s mask=%d workers=%d: %d components, oracle has %d", fam.name, mi, workers, len(got), len(want))
+				}
+				for i := range want {
+					if !equalIntSlices(want[i], got[i]) {
+						t.Fatalf("%s mask=%d workers=%d: component %d member order diverges", fam.name, mi, workers, i)
+					}
+				}
+				gotSorted := ParallelComponents(fam.g, mask, workers)
+				for i := range wantSorted {
+					if !equalIntSlices(wantSorted[i], gotSorted[i]) {
+						t.Fatalf("%s mask=%d workers=%d: sorted component %d diverges", fam.name, mi, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDiameterApproxDifferential pins the parallel 2-sweep to the
+// sequential one: identical far-node choices (via identical visit order)
+// imply an identical returned bound, not just one within the 2x envelope.
+func TestParallelDiameterApproxDifferential(t *testing.T) {
+	seq := NewScratch()
+	par := NewParallelScratch()
+	for _, fam := range diffFamilies() {
+		for mi, mask := range diffMasks(fam.g.N(), int64(41+fam.g.N())) {
+			want := seq.DiameterApprox(fam.g, mask)
+			for _, workers := range diffWorkerCounts {
+				if got := par.DiameterApprox(fam.g, mask, workers); got != want {
+					t.Fatalf("%s mask=%d workers=%d: diameter approx %d, oracle %d", fam.name, mi, workers, got, want)
+				}
+				if got := ParallelDiameterApprox(fam.g, mask, workers); got != want {
+					t.Fatalf("%s mask=%d workers=%d: pooled diameter approx %d, oracle %d", fam.name, mi, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNeighborhoodSizesDifferential pins the cumulative
+// ball-size profile the Theorem 2.1 carving consumes.
+func TestParallelNeighborhoodSizesDifferential(t *testing.T) {
+	par := NewParallelScratch()
+	for _, fam := range diffFamilies() {
+		n := fam.g.N()
+		wantDist := make([]int, n)
+		gotDist := make([]int, n)
+		for mi, mask := range diffMasks(n, int64(43+n)) {
+			for _, src := range []int{0, n / 2} {
+				want := NeighborhoodSizes(fam.g, mask, []int{src}, wantDist)
+				for _, workers := range diffWorkerCounts {
+					got := par.NeighborhoodSizes(fam.g, mask, []int{src}, gotDist, workers)
+					if !equalIntSlices(want, got) {
+						t.Fatalf("%s mask=%d workers=%d src=%d: neighborhood sizes diverge", fam.name, mi, workers, src)
+					}
+					if !equalIntSlices(wantDist, gotDist) {
+						t.Fatalf("%s mask=%d workers=%d src=%d: dist diverges", fam.name, mi, workers, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBFSAllocs is the AllocsPerRun guard over the parallel
+// frontier inner loop: with a warmed scratch and workers=1 (the same
+// scanLevel/collectLevel code the fan-out workers execute, minus
+// goroutine startup) a steady-state traversal performs zero heap
+// allocations. The -race builds skip it like the other allocation
+// guards: the race runtime instruments allocations.
+func TestParallelBFSAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard is meaningless under -race instrumentation")
+	}
+	g := ConnectedGnp(4096, 4.0/4096, 7)
+	ps := NewParallelScratch()
+	dist := make([]int, g.N())
+	srcs := []int{0}
+	ps.BFS(g, nil, srcs, dist, 1) // warm buffers
+	if avg := testing.AllocsPerRun(20, func() {
+		ps.BFS(g, nil, srcs, dist, 1)
+	}); avg != 0 {
+		t.Errorf("ParallelScratch.BFS steady state allocates %.1f times per run, want 0", avg)
+	}
+	ps.DiameterApprox(g, nil, 1)
+	if avg := testing.AllocsPerRun(10, func() {
+		ps.DiameterApprox(g, nil, 1)
+	}); avg != 0 {
+		t.Errorf("ParallelScratch.DiameterApprox steady state allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestParallelScratchInterleavedReuse proves pooled reuse is safe: many
+// goroutines concurrently pull scratches through the package pool and
+// interleave BFS / Components / DiameterApprox calls (each with internal
+// fan-out), every result checked against a fresh sequential oracle. A
+// scratch whose claim state leaked across uses or across goroutines
+// would produce wrong orders here.
+func TestParallelScratchInterleavedReuse(t *testing.T) {
+	graphs := []*Graph{
+		ConnectedGnp(3000, 5.0/3000, 3),
+		Star(2500),
+		DisjointUnion(Grid(20, 25), Cycle(333), RandomTree(501, 9)),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for rep := 0; rep < 6; rep++ {
+		for gi, g := range graphs {
+			wg.Add(1)
+			go func(rep, gi int, g *Graph) {
+				defer wg.Done()
+				seq := NewScratch()
+				dist := make([]int, g.N())
+				wantDist := make([]int, g.N())
+				workers := 1 + (rep+gi)%4
+				order := ParallelBFS(g, nil, []int{gi}, dist, workers)
+				wantOrder := seq.BFS(g, nil, []int{gi}, wantDist)
+				if !equalIntSlices(order, wantOrder) || !equalIntSlices(dist, wantDist) {
+					errs <- "interleaved BFS diverged"
+					return
+				}
+				want := seq.Components(g, nil)
+				got := ParallelComponents(g, nil, workers)
+				if len(got) != len(want) {
+					errs <- "interleaved Components diverged"
+					return
+				}
+				if d, w := ParallelDiameterApprox(g, nil, workers), seq.DiameterApprox(g, nil); d != w {
+					errs <- "interleaved DiameterApprox diverged"
+				}
+			}(rep, gi, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// TestForChunksCovers checks the work-stealing chunker visits every index
+// exactly once for a spread of sizes and widths.
+func TestForChunksCovers(t *testing.T) {
+	for _, n := range []int{0, 1, parallelChunk - 1, parallelChunk, parallelFanoutMin, 3*parallelChunk + 17, 10000} {
+		for _, workers := range diffWorkerCounts {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			ForChunks(n, workers, func(_, lo, hi int) {
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}

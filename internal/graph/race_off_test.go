@@ -1,0 +1,10 @@
+//go:build !race
+
+package graph
+
+// raceEnabled reports whether the race detector is active — same split
+// as the root package's race_off_test.go/race_on_test.go pair: the
+// plain run executes the AllocsPerRun guards, the -race run skips them
+// (the race runtime adds bookkeeping allocations, making alloc counts
+// nondeterministic) and covers everything else with the detector.
+const raceEnabled = false

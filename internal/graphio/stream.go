@@ -1,0 +1,379 @@
+package graphio
+
+// Out-of-core CSR construction: BuildCSRStream turns an arbitrary edge
+// stream into a binary .csr snapshot without ever materializing the
+// graph's adjacency in RAM. Arcs (both directions of each undirected
+// edge) are packed into uint64 words and buffered up to a configurable
+// cap; full buffers are sorted and spilled as temp-file runs; a final
+// k-way merge with adjacent-arc dedup streams the targets payload to a
+// temp file while counting degrees, and the snapshot (header, offsets,
+// targets, SHA-256 footer) is then assembled with one sequential copy
+// through the hash and an atomic rename — the same crash-safe discipline
+// as SaveCSR. Peak memory is the arc buffer plus one O(n) degree array;
+// edge volume is bounded only by disk.
+//
+// The output is defined to be byte-identical to the in-memory path
+// (graph.Builder + SaveCSR) on the same edge multiset: duplicate edges
+// produce duplicate arc pairs in both directions, so adjacent dedup of
+// the sorted arc stream is exactly the Builder's compaction, and sorted
+// arcs yield sorted CSR rows.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+)
+
+// defaultStreamArcs is the default in-memory arc-buffer cap (1<<21 arcs
+// = 16 MiB); each undirected edge costs two arcs.
+const defaultStreamArcs = 1 << 21
+
+// minStreamArcs keeps pathological caps from spilling a run per arc; it
+// is deliberately tiny so tests (and fuzzing) can force many-run merges
+// on small inputs.
+const minStreamArcs = 16
+
+// errStreamPoisoned matches Builder's use-after-Build latch.
+var errStreamPoisoned = errors.New("graphio: stream Build already called")
+
+// StreamOption configures a StreamBuilder.
+type StreamOption func(*StreamBuilder)
+
+// WithStreamMemory caps the in-memory arc buffer (2 arcs per edge;
+// values below a small floor are raised to it). Lower caps spill more,
+// smaller runs.
+func WithStreamMemory(arcs int) StreamOption {
+	return func(sb *StreamBuilder) {
+		if arcs > 0 {
+			sb.memArcs = max(arcs, minStreamArcs)
+		}
+	}
+}
+
+// WithStreamTempDir places the spill runs and payload temp files under
+// dir instead of the destination snapshot's directory.
+func WithStreamTempDir(dir string) StreamOption {
+	return func(sb *StreamBuilder) { sb.tmpDir = dir }
+}
+
+// streamRun is one sorted spill file: arcs records how many packed words
+// the run must contain, so a truncated or tampered file is detected as a
+// hard error at merge time instead of silently dropping edges.
+type streamRun struct {
+	path string
+	arcs int64
+}
+
+// StreamBuilder accumulates an edge stream destined for a .csr snapshot.
+// Errors latch like graph.Builder's: the first bad edge poisons the
+// builder and Build reports it. Not safe for concurrent use.
+type StreamBuilder struct {
+	n       int
+	memArcs int
+	tmpDir  string
+	buf     []uint64
+	runs    []streamRun
+	spilled int64 // total arcs across runs
+	err     error
+	done    bool
+}
+
+// NewStreamBuilder starts an out-of-core build of an n-node graph whose
+// snapshot will be written by Build. The node count is fixed up front —
+// the CSR header and offsets array need it — and is subject to the same
+// MaxNodes cap as every other graphio input.
+func NewStreamBuilder(n int, opts ...StreamOption) (*StreamBuilder, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: stream builder with %d nodes", n)
+	}
+	if n > MaxNodes {
+		return nil, fmt.Errorf("graphio: stream builder declares %d nodes (cap %d)", n, MaxNodes)
+	}
+	sb := &StreamBuilder{n: n, memArcs: defaultStreamArcs}
+	for _, opt := range opts {
+		opt(sb)
+	}
+	return sb, nil
+}
+
+// AddEdge records the undirected edge {u, v}. Out-of-range endpoints and
+// self-loops latch an error (reported by Build); duplicate edges are
+// legal and deduplicated during the merge, exactly like graph.Builder.
+func (sb *StreamBuilder) AddEdge(u, v int) {
+	if sb.err != nil {
+		return
+	}
+	if sb.done {
+		sb.err = errStreamPoisoned
+		return
+	}
+	if u < 0 || v < 0 || u >= sb.n || v >= sb.n {
+		sb.err = fmt.Errorf("graphio: stream edge (%d,%d) out of range [0,%d)", u, v, sb.n)
+		return
+	}
+	if u == v {
+		sb.err = fmt.Errorf("graphio: stream self-loop at %d", u)
+		return
+	}
+	sb.buf = append(sb.buf, uint64(u)<<32|uint64(uint32(v)), uint64(v)<<32|uint64(uint32(u)))
+	if len(sb.buf) >= sb.memArcs {
+		sb.err = sb.spill()
+	}
+}
+
+// spill sorts the arc buffer and writes it out as one run.
+func (sb *StreamBuilder) spill() error {
+	if len(sb.buf) == 0 {
+		return nil
+	}
+	slices.Sort(sb.buf)
+	f, err := os.CreateTemp(sb.tmpDir, ".csr-run-*")
+	if err != nil {
+		return fmt.Errorf("graphio: stream spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var word [wordBytes]byte
+	for _, a := range sb.buf {
+		binary.LittleEndian.PutUint64(word[:], a)
+		if _, err := bw.Write(word[:]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("graphio: stream spill: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("graphio: stream spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("graphio: stream spill: %w", err)
+	}
+	sb.runs = append(sb.runs, streamRun{path: f.Name(), arcs: int64(len(sb.buf))})
+	sb.spilled += int64(len(sb.buf))
+	sb.buf = sb.buf[:0]
+	return nil
+}
+
+// discard removes every spill file; called on all exits from Build.
+func (sb *StreamBuilder) discard() {
+	for _, r := range sb.runs {
+		os.Remove(r.path)
+	}
+	sb.runs = nil
+}
+
+// arcCursor walks one sorted arc sequence during the merge: either a
+// spill run (br set) or the in-memory tail (mem set). A run that ends
+// before its recorded arc count is a truncation error.
+type arcCursor struct {
+	next   uint64
+	ok     bool
+	br     *bufio.Reader
+	f      *os.File
+	remain int64
+	mem    []uint64
+	path   string
+}
+
+func (c *arcCursor) advance() error {
+	if c.br != nil {
+		if c.remain == 0 {
+			c.ok = false
+			return nil
+		}
+		var word [wordBytes]byte
+		if _, err := io.ReadFull(c.br, word[:]); err != nil {
+			return fmt.Errorf("%w: stream run %s truncated with %d arcs unread: %w",
+				ErrSnapshotCorrupt, filepath.Base(c.path), c.remain, err)
+		}
+		c.next = binary.LittleEndian.Uint64(word[:])
+		c.remain--
+		return nil
+	}
+	if len(c.mem) == 0 {
+		c.ok = false
+		return nil
+	}
+	c.next = c.mem[0]
+	c.mem = c.mem[1:]
+	return nil
+}
+
+func (c *arcCursor) close() {
+	if c.f != nil {
+		c.f.Close()
+	}
+}
+
+// Build merges the spilled runs and the in-memory tail into a .csr
+// snapshot at path (temp file + atomic rename, like SaveCSR) and
+// retires the builder. The merge deduplicates arcs, counts degrees into
+// the only O(n) array of the pipeline, streams targets to a payload temp
+// file, and then assembles header + offsets + targets through the
+// checksum in one sequential pass.
+func (sb *StreamBuilder) Build(path string) (err error) {
+	defer sb.discard()
+	if sb.err != nil {
+		return sb.err
+	}
+	if sb.done {
+		return errStreamPoisoned
+	}
+	sb.done = true
+	slices.Sort(sb.buf)
+
+	cursors := make([]*arcCursor, 0, len(sb.runs)+1)
+	defer func() {
+		for _, c := range cursors {
+			c.close()
+		}
+	}()
+	for _, r := range sb.runs {
+		f, oerr := os.Open(r.path)
+		if oerr != nil {
+			return fmt.Errorf("graphio: stream merge: %w", oerr)
+		}
+		cursors = append(cursors, &arcCursor{
+			ok: true, br: bufio.NewReaderSize(f, 1<<16), f: f, remain: r.arcs, path: r.path,
+		})
+	}
+	cursors = append(cursors, &arcCursor{ok: true, mem: sb.buf})
+	for _, c := range cursors {
+		if err := c.advance(); err != nil {
+			return err
+		}
+	}
+
+	// Merge pass: deduped targets stream to a payload temp file while the
+	// degree array accumulates row lengths.
+	payload, err := os.CreateTemp(sb.tmpDir, ".csr-targets-*")
+	if err != nil {
+		return fmt.Errorf("graphio: stream merge: %w", err)
+	}
+	defer os.Remove(payload.Name())
+	defer payload.Close()
+	pw := bufio.NewWriterSize(payload, 1<<16)
+
+	degrees := make([]int64, sb.n)
+	var arcs int64
+	var prev uint64
+	havePrev := false
+	var word [wordBytes]byte
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.ok && (best < 0 || c.next < cursors[best].next) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		arc := cursors[best].next
+		if err := cursors[best].advance(); err != nil {
+			return err
+		}
+		if havePrev && arc == prev {
+			continue // duplicate edge: both its arcs collapse symmetrically
+		}
+		prev, havePrev = arc, true
+		degrees[arc>>32]++
+		binary.LittleEndian.PutUint64(word[:], arc&0xffffffff)
+		if _, err := pw.Write(word[:]); err != nil {
+			return fmt.Errorf("graphio: stream merge: %w", err)
+		}
+		arcs++
+	}
+	if err := pw.Flush(); err != nil {
+		return fmt.Errorf("graphio: stream merge: %w", err)
+	}
+	if arcs%2 != 0 {
+		return fmt.Errorf("graphio: stream merge produced %d arcs (odd: internal invariant broken)", arcs)
+	}
+	m := arcs / 2
+	if m > maxSnapshotEdges {
+		return fmt.Errorf("graphio: stream merge produced %d edges (cap %d)", m, maxSnapshotEdges)
+	}
+
+	// Assembly pass: header + offsets (prefix sums of the degree array) +
+	// the payload file, hashed as written; footer appended unhashed.
+	if _, err := payload.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".csr-tmp-*")
+	if err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	h := sha256.New()
+	bw := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<16)
+	var hdr [snapshotHeaderLen]byte
+	copy(hdr[0:8], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], SnapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], 0)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(sb.n))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(m))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	var off int64
+	binary.LittleEndian.PutUint64(word[:], 0)
+	if _, err := bw.Write(word[:]); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	for _, d := range degrees {
+		off += d
+		binary.LittleEndian.PutUint64(word[:], uint64(off))
+		if _, err := bw.Write(word[:]); err != nil {
+			return fmt.Errorf("graphio: stream assemble: %w", err)
+		}
+	}
+	if n, err := io.Copy(bw, payload); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	} else if n != arcs*wordBytes {
+		return fmt.Errorf("%w: targets payload is %d bytes, merge wrote %d", ErrSnapshotCorrupt, n, arcs*wordBytes)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	if _, err := tmp.Write(h.Sum(nil)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("graphio: stream assemble: %w", err)
+	}
+	return nil
+}
+
+// EdgeStream feeds edges to BuildCSRStream through emit; returning a
+// non-nil error aborts the build with that error.
+type EdgeStream func(emit func(u, v int)) error
+
+// BuildCSRStream builds a .csr snapshot at path from an n-node edge
+// stream without materializing the graph in memory: the one-shot wrapper
+// around StreamBuilder. The written snapshot is byte-identical to
+// building the same edges with graph.Builder and SaveCSR.
+func BuildCSRStream(path string, n int, stream EdgeStream, opts ...StreamOption) error {
+	sb, err := NewStreamBuilder(n, opts...)
+	if err != nil {
+		return err
+	}
+	if err := stream(sb.AddEdge); err != nil {
+		sb.discard()
+		return err
+	}
+	return sb.Build(path)
+}

@@ -1,0 +1,315 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strongdecomp/internal/graph"
+)
+
+// memSave builds the same edges with the in-memory graph.Builder and
+// SaveCSR, returning the snapshot bytes — the oracle BuildCSRStream is
+// pinned against — or the Builder's error.
+func memSave(t *testing.T, n int, edges [][2]int) ([]byte, error) {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(t.TempDir(), "mem.csr")
+	if err := SaveCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, nil
+}
+
+// streamSave builds the same edges out-of-core and returns the snapshot
+// bytes. memArcs is the spill cap — small values force multi-run merges.
+func streamSave(t *testing.T, n int, edges [][2]int, memArcs int) ([]byte, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stream.csr")
+	err := BuildCSRStream(path, n, func(emit func(u, v int)) error {
+		for _, e := range edges {
+			emit(e[0], e[1])
+		}
+		return nil
+	}, WithStreamMemory(memArcs), WithStreamTempDir(t.TempDir()))
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, nil
+}
+
+// TestBuildCSRStreamMatchesBuilder pins the out-of-core path to the
+// in-memory one byte for byte: random edge streams with duplicates, in
+// shuffled order, across spill caps from "everything in memory" down to
+// "dozens of runs".
+func TestBuildCSRStreamMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 50, 700} {
+		var edges [][2]int
+		for i := 0; i < 4*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+			if rng.Intn(3) == 0 {
+				edges = append(edges, [2]int{v, u}) // duplicate, reversed
+			}
+		}
+		want, err := memSave(t, n, edges)
+		if err != nil {
+			t.Fatalf("n=%d: builder: %v", n, err)
+		}
+		for _, memArcs := range []int{1 << 20, minStreamArcs} {
+			got, err := streamSave(t, n, edges, memArcs)
+			if err != nil {
+				t.Fatalf("n=%d memArcs=%d: %v", n, memArcs, err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("n=%d memArcs=%d: stream snapshot differs from in-memory snapshot", n, memArcs)
+			}
+		}
+	}
+}
+
+// TestBuildCSRStreamSpillsAndLoads forces real spill runs (cap floor,
+// >minStreamArcs arcs) and checks the merged snapshot mmap-loads with
+// full verification into the same graph the Builder produces.
+func TestBuildCSRStreamSpillsAndLoads(t *testing.T) {
+	n := 3000
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(n)
+	sb, err := NewStreamBuilder(n, WithStreamMemory(minStreamArcs), WithStreamTempDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		sb.AddEdge(u, v)
+	}
+	if len(sb.runs) < 2 {
+		t.Fatalf("expected multiple spill runs, got %d", len(sb.runs))
+	}
+	want, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "big.csr")
+	if err := sb.Build(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSR(path)
+	if err != nil {
+		t.Fatalf("mmap load: %v", err)
+	}
+	wo, wt := want.CSR()
+	go_, gt := got.CSR()
+	if len(wo) != len(go_) || len(wt) != len(gt) {
+		t.Fatalf("CSR shapes differ: (%d,%d) vs (%d,%d)", len(wo), len(wt), len(go_), len(gt))
+	}
+	for i := range wo {
+		if wo[i] != go_[i] {
+			t.Fatalf("offsets differ at %d", i)
+		}
+	}
+	for i := range wt {
+		if wt[i] != gt[i] {
+			t.Fatalf("targets differ at %d", i)
+		}
+	}
+}
+
+// TestStreamBuilderTruncatedRun corrupts a spill run on disk before the
+// merge; Build must fail with ErrSnapshotCorrupt, never silently drop
+// the missing arcs.
+func TestStreamBuilderTruncatedRun(t *testing.T) {
+	n := 2000
+	rng := rand.New(rand.NewSource(9))
+	sb, err := NewStreamBuilder(n, WithStreamMemory(minStreamArcs), WithStreamTempDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			sb.AddEdge(u, v)
+		}
+	}
+	if len(sb.runs) == 0 {
+		t.Fatal("no spill runs to truncate")
+	}
+	run := sb.runs[0]
+	if err := os.Truncate(run.path, run.arcs*wordBytes/2); err != nil {
+		t.Fatal(err)
+	}
+	err = sb.Build(filepath.Join(t.TempDir(), "trunc.csr"))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated run: got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestStreamBuilderErrorLatching mirrors graph.Builder's latched-error
+// contract: bad input poisons the builder, later calls are no-ops, and
+// Build after Build fails.
+func TestStreamBuilderErrorLatching(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		feed func(sb *StreamBuilder)
+	}{
+		{"self-loop", func(sb *StreamBuilder) { sb.AddEdge(3, 3) }},
+		{"out-of-range", func(sb *StreamBuilder) { sb.AddEdge(0, 99) }},
+		{"negative", func(sb *StreamBuilder) { sb.AddEdge(-1, 2) }},
+	}
+	for _, tc := range cases {
+		sb, err := NewStreamBuilder(10, WithStreamTempDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.AddEdge(0, 1)
+		tc.feed(sb)
+		sb.AddEdge(1, 2) // latched: ignored
+		if err := sb.Build(filepath.Join(dir, tc.name+".csr")); err == nil {
+			t.Errorf("%s: Build succeeded after poisoned input", tc.name)
+		}
+	}
+
+	sb, err := NewStreamBuilder(4, WithStreamTempDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.AddEdge(0, 1)
+	path := filepath.Join(dir, "ok.csr")
+	if err := sb.Build(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Build(path); !errors.Is(err, errStreamPoisoned) {
+		t.Errorf("second Build: got %v, want poisoned error", err)
+	}
+	sb.AddEdge(2, 3)
+	if sb.err == nil {
+		t.Error("AddEdge after Build did not latch an error")
+	}
+
+	if _, err := NewStreamBuilder(-1); err == nil {
+		t.Error("negative node count accepted")
+	}
+	if _, err := NewStreamBuilder(MaxNodes + 1); err == nil {
+		t.Error("node count beyond MaxNodes accepted")
+	}
+}
+
+// TestBuildCSRStreamAbort propagates the stream callback's error and
+// leaves no snapshot behind.
+func TestBuildCSRStreamAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "abort.csr")
+	boom := errors.New("upstream failed")
+	err := BuildCSRStream(path, 10, func(emit func(u, v int)) error {
+		emit(0, 1)
+		return boom
+	}, WithStreamTempDir(dir))
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the stream's own error", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("aborted build left a snapshot: %v", err)
+	}
+}
+
+// FuzzBuildCSRStream drives the out-of-core builder with arbitrary edge
+// streams — duplicates, self-loops, out-of-range endpoints, unsorted
+// order — and differentially checks it against graph.Builder: both paths
+// must agree on accept/reject, and on accept the snapshot must pass
+// ReadCSR's full validation and match the in-memory snapshot byte for
+// byte. The tiny spill cap routes even small inputs through the
+// sort-spill-merge machinery.
+func FuzzBuildCSRStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})                // cycle
+	f.Add([]byte{3, 0, 1, 0, 1, 1, 0})                      // duplicates both ways
+	f.Add([]byte{5, 2, 2})                                  // self-loop: must reject
+	f.Add([]byte{2, 0, 200})                                // out of range: must reject
+	f.Add([]byte{8, 7, 0, 6, 1, 5, 2, 4, 3, 0, 3, 1, 4, 9}) // trailing odd byte ignored
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])
+		pairs := data[1:]
+		var edges [][2]int
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, [2]int{int(pairs[i]), int(pairs[i+1])})
+		}
+
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		wantG, wantErr := b.Build()
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.csr")
+		gotErr := BuildCSRStream(path, n, func(emit func(u, v int)) error {
+			for _, e := range edges {
+				emit(e[0], e[1])
+			}
+			return nil
+		}, WithStreamMemory(1), WithStreamTempDir(dir))
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject disagreement: builder err=%v, stream err=%v", wantErr, gotErr)
+		}
+		if gotErr != nil {
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("rejected input left a snapshot: %v", err)
+			}
+			return
+		}
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ReadCSR(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("stream snapshot failed validation: %v", err)
+		}
+		if g.N() != wantG.N() || g.M() != wantG.M() {
+			t.Fatalf("stream graph is (%d,%d), builder graph is (%d,%d)", g.N(), g.M(), wantG.N(), wantG.M())
+		}
+		memPath := filepath.Join(dir, "mem.csr")
+		if err := SaveCSR(memPath, wantG); err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(memPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatal("stream snapshot differs from in-memory snapshot")
+		}
+	})
+}

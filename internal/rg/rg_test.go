@@ -226,3 +226,96 @@ func ExampleCarve() {
 	fmt.Println(c.K > 0, c.DeadFraction(nil) <= 0.5)
 	// Output: true true
 }
+
+// carvingsEqual reports whether two carvings are bit-identical: same
+// assignment vector, cluster count, centers, and Steiner trees.
+func carvingsEqual(a, b *cluster.Carving) bool {
+	if a.K != b.K || len(a.Assign) != len(b.Assign) {
+		return false
+	}
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			return false
+		}
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			return false
+		}
+	}
+	for i := range a.Trees {
+		ta, tb := a.Trees[i], b.Trees[i]
+		if ta.Root != tb.Root || len(ta.Parent) != len(tb.Parent) {
+			return false
+		}
+		for v, p := range ta.Parent {
+			if q, ok := tb.Parent[v]; !ok || q != p {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCarveParallelMatchesSequential is the carving arm of the
+// differential harness: CarveParallel must reproduce Carve bit-for-bit —
+// assignment, centers, Steiner trees, AND the round/message charges —
+// for every worker count, since the parallel scans are defined to be a
+// pure reordering of the sequential loops' reads.
+func TestCarveParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		nodes []int
+	}{
+		{"connected-gnp", graph.ConnectedGnp(800, 0.01, 5), nil},
+		{"grid", graph.Grid(25, 30), nil},
+		{"star", graph.Star(1500), nil},
+		{"regularish", graph.RandomRegularish(2000, 6, 9), nil},
+		{"cluster-graph", graph.ClusterGraph(8, 60, 0.2, 13), nil},
+		{"subset", graph.ConnectedGnp(600, 0.02, 7), allNodes(300)},
+		{"big-gnp", graph.ConnectedGnp(12000, 6.0/12000, 11), nil},
+	}
+	for _, tc := range cases {
+		seqMeter := rounds.NewMeter()
+		want, err := Carve(tc.g, tc.nodes, 0.3, seqMeter)
+		if err != nil {
+			t.Fatalf("%s: sequential carve: %v", tc.name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			parMeter := rounds.NewMeter()
+			cfg := graph.ParallelConfig{Workers: workers, Threshold: 1}
+			got, err := CarveParallel(tc.g, tc.nodes, 0.3, parMeter, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: parallel carve: %v", tc.name, workers, err)
+			}
+			if !carvingsEqual(want, got) {
+				t.Fatalf("%s workers=%d: parallel carving diverges from sequential", tc.name, workers)
+			}
+			if seqMeter.Rounds() != parMeter.Rounds() || seqMeter.Messages() != parMeter.Messages() {
+				t.Fatalf("%s workers=%d: charges diverge: seq (%d rounds, %d msgs) vs par (%d rounds, %d msgs)",
+					tc.name, workers, seqMeter.Rounds(), seqMeter.Messages(), parMeter.Rounds(), parMeter.Messages())
+			}
+		}
+	}
+}
+
+// TestCarveParallelThresholdGate checks the size gate: below the
+// threshold CarveParallel must not fan out (workers stays 1), and either
+// way the result matches Carve.
+func TestCarveParallelThresholdGate(t *testing.T) {
+	g := graph.ConnectedGnp(400, 0.02, 3)
+	want, err := Carve(g, nil, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []int{1, 401} {
+		got, err := CarveParallel(g, nil, 0.25, nil, graph.ParallelConfig{Workers: 4, Threshold: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !carvingsEqual(want, got) {
+			t.Fatalf("threshold=%d: carving diverges from sequential", threshold)
+		}
+	}
+}
